@@ -1,0 +1,48 @@
+"""Benchmark harness plumbing.
+
+Every benchmark reproduces one table or figure from the paper's evaluation
+section.  The measured quantity is *simulated seconds* on the calibrated
+hardware models (see DESIGN.md), not wall time — pytest-benchmark's wall
+numbers only show how fast the simulation itself runs.
+
+Each benchmark registers its regenerated table with :func:`record_report`;
+a terminal-summary hook prints every table at the end of the run, and the
+raw text is also written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+_REPORTS: list[tuple[str, list[str]]] = []
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record_report(title: str, lines: list[str]) -> None:
+    """Register a regenerated table/figure for the end-of-run summary."""
+    _REPORTS.append((title, lines))
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    slug = (
+        title.lower()
+        .replace(":", "")
+        .replace(".", "")
+        .replace(",", "")
+        .replace("(", "")
+        .replace(")", "")
+        .replace("/", "-")
+        .replace(" ", "_")[:60]
+    )
+    with open(os.path.join(RESULTS_DIR, f"{slug}.txt"), "w") as fh:
+        fh.write(title + "\n")
+        fh.write("\n".join(lines) + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced tables and figures (simulated seconds)")
+    for title, lines in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"=== {title} ===")
+        for line in lines:
+            terminalreporter.write_line(line)

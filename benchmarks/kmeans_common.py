@@ -1,0 +1,106 @@
+"""Shared k-means scenario runner for the Fig. 3 / Fig. 4 benchmarks.
+
+Scenarios run once and are memoized: Fig. 3 reports latency, Fig. 4 reports
+memory from the same runs, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import DbminBlockedError, MachineProfile, PangeaCluster
+from repro.baselines.spark import SparkKMeans
+from repro.ml.kmeans import PangeaKMeans, generate_points
+from repro.sim.devices import GB
+
+#: Each actual point represents this many paper-scale points.
+REPRESENT = 250_000
+NUM_NODES = 10
+ITERATIONS = 5
+
+POINT_COUNTS = {
+    "1 billion points (120GB)": 1_000_000_000,
+    "2 billion points (240GB)": 2_000_000_000,
+    "3 billion points (360GB)": 3_000_000_000,
+}
+
+PANGEA_POLICIES = [
+    "data-aware",
+    "lru",
+    "mru",
+    "dbmin-1",
+    "dbmin-1000",
+    "dbmin-adaptive",
+]
+
+SPARK_BACKENDS = ["hdfs", "alluxio", "ignite"]
+
+
+@dataclass
+class ScenarioResult:
+    system: str
+    points: int
+    init_seconds: float = 0.0
+    total_seconds: float = 0.0
+    memory_bytes: int = 0
+    failed: bool = False
+    failure: str = ""
+
+
+_CACHE: dict = {}
+
+
+def run_pangea(policy: str, num_points: int) -> ScenarioResult:
+    key = (f"pangea-{policy}", num_points)
+    if key in _CACHE:
+        return _CACHE[key]
+    cluster = PangeaCluster(
+        num_nodes=NUM_NODES,
+        profile=MachineProfile.r4_2xlarge(pool_bytes=50 * GB),
+        policy=policy,
+    )
+    km = PangeaKMeans(cluster, k=10, dims=10, workers=8)
+    actual = num_points // REPRESENT
+    points = generate_points(actual)
+    result = ScenarioResult(system=f"pangea-{policy}", points=num_points)
+    try:
+        data = km.load_points(points, represent=REPRESENT)
+        run = km.run(data, represent=REPRESENT, iterations=ITERATIONS)
+        result.init_seconds = run.init_seconds
+        result.total_seconds = cluster.simulated_seconds()
+        result.memory_bytes = run.peak_pool_bytes
+    except DbminBlockedError as exc:
+        result.failed = True
+        result.failure = str(exc)[:80]
+    _CACHE[key] = result
+    return result
+
+
+def run_spark(backend: str, num_points: int) -> ScenarioResult:
+    key = (f"spark-{backend}", num_points)
+    if key in _CACHE:
+        return _CACHE[key]
+    report = SparkKMeans(num_nodes=NUM_NODES, backend=backend).run(
+        num_points, iterations=ITERATIONS
+    )
+    result = ScenarioResult(
+        system=f"spark-{backend}",
+        points=num_points,
+        init_seconds=report.init_seconds,
+        total_seconds=report.total_seconds,
+        memory_bytes=report.memory_bytes,
+        failed=report.failed,
+        failure=report.failure[:80],
+    )
+    _CACHE[key] = result
+    return result
+
+
+def all_scenarios() -> list[ScenarioResult]:
+    results = []
+    for num_points in POINT_COUNTS.values():
+        for policy in PANGEA_POLICIES:
+            results.append(run_pangea(policy, num_points))
+        for backend in SPARK_BACKENDS:
+            results.append(run_spark(backend, num_points))
+    return results

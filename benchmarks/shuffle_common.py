@@ -1,0 +1,62 @@
+"""Shared Pangea shuffle scenario for Tab. 3 and Fig. 10."""
+
+from __future__ import annotations
+
+from repro import MachineProfile, PangeaCluster
+from repro.services.shuffle import ShuffleService
+from repro.sim.devices import GB, MB
+
+OBJECT_BYTES = 10
+NUM_WORKERS = 4
+NUM_PARTITIONS = 4
+ACTUAL_OBJECTS_PER_WORKER = 2048
+POOL = 14 * GB
+
+#: Calibrated per-object costs (paper Tab. 3: Pangea writes 500MB/thread
+#: in ~15 s with 4 workers; reads scan at memory speed).
+WRITE_SECONDS_PER_OBJECT = 0.30e-6
+READ_SECONDS_PER_BYTE = 0.5e-9
+
+
+def run_pangea_shuffle(
+    mb_per_thread: int, num_disks: int = 1, policy: str = "data-aware"
+) -> dict:
+    """Write 4 threads x 4 partitions of 10-byte strings, then read back."""
+    bytes_per_thread = mb_per_thread * MB
+    total_bytes = bytes_per_thread * NUM_WORKERS
+    logical_objects = total_bytes // OBJECT_BYTES
+    actual_total = ACTUAL_OBJECTS_PER_WORKER * NUM_WORKERS
+    represent = logical_objects / actual_total
+
+    cluster = PangeaCluster(
+        num_nodes=1,
+        profile=MachineProfile.m3_xlarge(num_disks=num_disks, pool_bytes=POOL),
+        policy=policy,
+    )
+    node = cluster.nodes[0]
+    service = ShuffleService(
+        cluster, "tab3", num_partitions=NUM_PARTITIONS,
+        page_size=64 * MB, small_page_size=4 * MB,
+        object_bytes=max(1, int(OBJECT_BYTES * represent)),
+    )
+    start = node.now
+    for worker in range(NUM_WORKERS):
+        for i in range(ACTUAL_OBJECTS_PER_WORKER):
+            partition = (worker * ACTUAL_OBJECTS_PER_WORKER + i) % NUM_PARTITIONS
+            service.buffer_for(worker, partition, worker_node=node).add_object(
+                (worker, i)
+            )
+    service.finish_writing()
+    node.cpu.parallel(logical_objects * WRITE_SECONDS_PER_OBJECT, NUM_WORKERS)
+    write_seconds = node.now - start
+
+    start = node.now
+    for partition in range(NUM_PARTITIONS):
+        for _record in service.partition_set(partition).scan_records(
+            workers=1
+        ):
+            pass
+    node.cpu.parallel(total_bytes * READ_SECONDS_PER_BYTE, NUM_WORKERS)
+    read_seconds = node.now - start
+    service.drop()
+    return {"write": write_seconds, "read": read_seconds}

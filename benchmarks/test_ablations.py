@@ -1,0 +1,190 @@
+"""Ablations of Pangea's design choices (DESIGN.md Sec. 5).
+
+Not figures from the paper — these quantify the knobs the paper fixes:
+
+* the 10% read-batch eviction size (vs 1-page and 30% batches);
+* the reuse-probability horizon ``t`` in ``preuse = 1 - exp(-lambda t)``;
+* the random-reread penalty ``wr`` that protects hash data;
+* TLSF vs a slab allocator as the pool allocator.
+"""
+
+import pytest
+from conftest import record_report
+
+import repro.core.policies as policies
+from repro import MachineProfile, PangeaCluster
+from repro.core.policies import DataAwarePolicy
+from repro.services.hashsvc import VirtualHashBuffer
+from repro.sim.devices import GB, KB, MB
+
+POOL = 2 * GB
+OBJECT_BYTES = 256 * KB
+
+
+def scan_workload(cluster, pages_worth=3.0, scans=3):
+    """A loop-sequential read-after-write working set > pool."""
+    node = cluster.nodes[0]
+    data = cluster.create_set(
+        "scan", durability="write-back", page_size=16 * MB,
+        object_bytes=OBJECT_BYTES,
+    )
+    count = int(pages_worth * cluster.profile.pool_bytes / OBJECT_BYTES)
+    data.add_data(list(range(count)))
+    for _ in range(scans):
+        for _record in data.scan_records(workers=4):
+            pass
+    return node.now
+
+
+def spilling_hash_workload(cluster):
+    """A hash aggregation that overflows the pool and re-aggregates.
+
+    The ``wr`` penalty prices the reconstruction cost of re-reading
+    spilled random-access data; it is charged on every spilled-page
+    reload during the final aggregation stage.
+    """
+    node = cluster.nodes[0]
+    agg = cluster.create_set("agg", durability="write-back", page_size=16 * MB)
+    buffer = VirtualHashBuffer(agg, num_root_partitions=4,
+                               combiner=lambda a, b: a + b)
+    count = int(1.5 * cluster.profile.pool_bytes / (64 * KB))
+    for i in range(count):
+        buffer.insert(("k", i), 1, nbytes=64 * KB)
+    assert buffer.stats.spills > 0
+    assert len(dict(buffer.items())) == count
+    return node.now
+
+
+def test_ablation_eviction_batch(benchmark):
+    def run():
+        results = {}
+        for fraction in (0.02, 0.10, 0.30):
+            original = policies.READ_BATCH_FRACTION
+            policies.READ_BATCH_FRACTION = fraction
+            try:
+                cluster = PangeaCluster(
+                    num_nodes=1, profile=MachineProfile.m3_xlarge(pool_bytes=POOL)
+                )
+                results[fraction] = scan_workload(cluster)
+            finally:
+                policies.READ_BATCH_FRACTION = original
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'batch':>7s} {'seconds':>9s}"]
+    for fraction, seconds in sorted(results.items()):
+        lines.append(f"{100 * fraction:6.0f}% {seconds:8.1f}s")
+    record_report("Ablation: read-eviction batch size", lines)
+    # All finish; the default is within 20% of the best choice.
+    best = min(results.values())
+    assert results[0.10] <= best * 1.2
+
+
+def test_ablation_reuse_horizon(benchmark):
+    def run():
+        results = {}
+        for horizon in (0.1, 1.0, 10.0):
+            cluster = PangeaCluster(
+                num_nodes=1, profile=MachineProfile.m3_xlarge(pool_bytes=POOL)
+            )
+            cluster.nodes[0].paging.policy = DataAwarePolicy(horizon=horizon)
+            results[horizon] = scan_workload(cluster)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'horizon':>8s} {'seconds':>9s}"]
+    for horizon, seconds in sorted(results.items()):
+        lines.append(f"{horizon:8.1f} {seconds:8.1f}s")
+    record_report("Ablation: reuse-probability horizon t", lines)
+    best = min(results.values())
+    assert results[1.0] <= best * 1.2  # the paper's t=1 default holds up
+
+
+def test_ablation_random_reread_penalty(benchmark):
+    def run():
+        results = {}
+        for penalty in (1.0, 3.0, 6.0):
+            cluster = PangeaCluster(
+                num_nodes=1, profile=MachineProfile.m3_xlarge(pool_bytes=POOL)
+            )
+            original = None
+            results[penalty] = _mixed_with_penalty(cluster, penalty)
+            del original
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'wr':>5s} {'seconds':>9s}"]
+    for penalty, seconds in sorted(results.items()):
+        lines.append(f"{penalty:5.1f} {seconds:8.1f}s")
+    lines.append("")
+    lines.append("wr prices hash-map reconstruction on spilled-page reloads")
+    record_report("Ablation: random-reread penalty wr", lines)
+    # A higher wr makes re-reading spilled hash data strictly costlier.
+    assert results[1.0] <= results[3.0] <= results[6.0]
+    assert results[6.0] > results[1.0]
+
+
+def _mixed_with_penalty(cluster, penalty):
+    seconds = None
+    # Apply the penalty to every set created in this cluster.
+    original_create = cluster.create_set
+
+    def create_with_penalty(name, **kwargs):
+        kwargs.setdefault("random_reread_penalty", penalty)
+        return original_create(name, **kwargs)
+
+    cluster.create_set = create_with_penalty
+    try:
+        seconds = spilling_hash_workload(cluster)
+    finally:
+        cluster.create_set = original_create
+    return seconds
+
+
+def test_ablation_pool_allocator(benchmark):
+    from repro.buffer.pool import BufferPoolFullError
+
+    def run():
+        results = {}
+        for allocator in ("tlsf", "slab"):
+            cluster = PangeaCluster(
+                num_nodes=1,
+                profile=MachineProfile.m3_xlarge(pool_bytes=POOL),
+                pool_allocator=allocator,
+            )
+            node = cluster.nodes[0]
+            try:
+                # Variable page sizes stress placement: three sets with
+                # different page sizes write and re-read under pressure.
+                for index, page_size in enumerate((4 * MB, 16 * MB, 64 * MB)):
+                    data = cluster.create_set(
+                        f"set{index}", durability="write-back",
+                        page_size=page_size, object_bytes=64 * KB,
+                    )
+                    data.add_data(list(range(int(POOL / 2 / (64 * KB)))))
+                    for _r in data.scan_records():
+                        pass
+                results[allocator] = (node.now, node.pool.stats.evictions)
+            except BufferPoolFullError:
+                # Slab calcification: freed chunks stay with their size
+                # class, so memory for new page sizes can strand — the
+                # space-efficiency reason the paper defaults to TLSF.
+                results[allocator] = None
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'allocator':>10s} {'seconds':>9s} {'evictions':>10s}"]
+    for allocator, outcome in sorted(results.items()):
+        if outcome is None:
+            lines.append(f"{allocator:>10s} {'FAILED (slab calcification)':>30s}")
+        else:
+            seconds, evictions = outcome
+            lines.append(f"{allocator:>10s} {seconds:8.1f}s {evictions:10d}")
+    lines.append("")
+    lines.append("TLSF is the default: space-efficient for variable page sizes;")
+    lines.append("a slab pool allocator strands freed memory in size classes")
+    record_report("Ablation: TLSF vs slab pool allocator", lines)
+    assert results["tlsf"] is not None
+    # Slab either fails outright (calcification) or costs at least as much.
+    if results["slab"] is not None:
+        assert results["tlsf"][0] <= results["slab"][0] * 1.05

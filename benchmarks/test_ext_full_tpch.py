@@ -1,0 +1,59 @@
+"""Extension: all 22 TPC-H queries, Pangea vs Spark-over-HDFS.
+
+The paper evaluates nine queries (Fig. 5); this repository implements the
+full TPC-H suite.  The same scale-100 shape methodology as the Fig. 5
+benchmark applies (see test_fig5_tpch.py).
+"""
+
+from conftest import record_report
+from test_fig5_tpch import ROW_BYTES, _build
+
+from repro.baselines.spark import SparkTpchScheduler
+from repro.query.scheduler import QueryScheduler
+from repro.sim.devices import MB
+from repro.tpch import EXTRA_QUERIES, QUERIES
+from repro.tpch.full_queries import FULL_QUERIES
+
+ALL_QUERIES = {**QUERIES, **EXTRA_QUERIES, **FULL_QUERIES}
+
+
+def _run_all():
+    pangea_cluster = _build(with_replicas=True)
+    spark_cluster = _build(with_replicas=False)
+    rows = {}
+    for name, run in sorted(ALL_QUERIES.items()):
+        pangea = QueryScheduler(
+            pangea_cluster, broadcast_threshold=512 * MB, object_bytes=ROW_BYTES
+        )
+        start = pangea_cluster.simulated_seconds()
+        run(pangea)
+        pangea_seconds = pangea_cluster.simulated_seconds() - start
+        spark = SparkTpchScheduler(
+            spark_cluster, broadcast_threshold=10 * MB, object_bytes=ROW_BYTES
+        )
+        start = spark_cluster.simulated_seconds()
+        run(spark)
+        spark_seconds = spark_cluster.simulated_seconds() - start
+        rows[name] = (pangea_seconds, spark_seconds)
+    return rows
+
+
+def test_ext_full_tpch(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = [f"{'query':6s} {'pangea':>10s} {'spark/hdfs':>12s} {'speedup':>9s}"]
+    for name, (pangea_s, spark_s) in sorted(rows.items()):
+        lines.append(
+            f"{name:6s} {pangea_s:9.1f}s {spark_s:11.1f}s "
+            f"{spark_s / pangea_s:8.1f}x"
+        )
+    geo = 1.0
+    for pangea_s, spark_s in rows.values():
+        geo *= spark_s / pangea_s
+    geo **= 1.0 / len(rows)
+    lines.append(f"{'geomean':6s} {'':>10s} {'':>12s} {geo:8.1f}x")
+    record_report("Extension: all 22 TPC-H queries, Pangea vs Spark", lines)
+
+    # Pangea wins every query; overall advantage is substantial.
+    for name, (pangea_s, spark_s) in rows.items():
+        assert spark_s > pangea_s, name
+    assert geo >= 2.0

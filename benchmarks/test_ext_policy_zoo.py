@@ -1,0 +1,48 @@
+"""Extension: the full policy zoo on the paging-heavy k-means workload.
+
+Beyond the paper's Fig. 3 lineup, this also runs GreedyDual and LRU-2
+(both discussed in the paper's related work) at the 3-billion-point scale
+where paging decisions dominate.
+"""
+
+from conftest import record_report
+from kmeans_common import run_pangea
+
+POLICIES = [
+    "data-aware",
+    "dbmin-tuned",
+    "mru",
+    "lru",
+    "greedy-dual",
+    "lru-2",
+]
+POINTS = 3_000_000_000
+
+
+def _run_all():
+    return {policy: run_pangea(policy, POINTS) for policy in POLICIES}
+
+
+def test_ext_policy_zoo(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = [f"{'policy':>14s} {'total':>9s}"]
+    aware = results["data-aware"].total_seconds
+    for policy in POLICIES:
+        r = results[policy]
+        if r.failed:
+            lines.append(f"{policy:>14s}    FAILED")
+        else:
+            lines.append(
+                f"{policy:>14s} {r.total_seconds:8.0f}s "
+                f"({r.total_seconds / aware:.2f}x data-aware)"
+            )
+    lines.append("")
+    lines.append("3B points (360GB) against 500GB of cluster pool: paging-bound")
+    record_report("Extension: full policy zoo on k-means (3B points)", lines)
+
+    assert not results["data-aware"].failed
+    for policy in POLICIES:
+        r = results[policy]
+        if not r.failed:
+            # The data-aware policy is the best or tied-best choice.
+            assert aware <= r.total_seconds * 1.02, policy

@@ -1,0 +1,56 @@
+"""Fig. 4: memory usage for the k-means runs of Fig. 3.
+
+Paper shape: Pangea uses the least memory (no redundant copies across
+layers); Spark-over-HDFS double-holds blocks in the OS buffer cache;
+Alluxio and Ignite add their own memory regions on top of the executor;
+failed runs appear as gaps.
+"""
+
+from conftest import record_report
+from kmeans_common import POINT_COUNTS, run_pangea, run_spark
+from repro.sim.devices import GB
+
+SYSTEMS = [
+    ("pangea", lambda n: run_pangea("data-aware", n)),
+    ("spark-hdfs", lambda n: run_spark("hdfs", n)),
+    ("spark-alluxio", lambda n: run_spark("alluxio", n)),
+    ("spark-ignite", lambda n: run_spark("ignite", n)),
+]
+
+
+def _collect():
+    return {
+        (name, points): runner(points)
+        for name, runner in SYSTEMS
+        for points in POINT_COUNTS.values()
+    }
+
+
+def test_fig4_memory_usage(benchmark):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    lines = [f"{'system':16s} " + "".join(f"{label:>28s}" for label in POINT_COUNTS)]
+    for name, _runner in SYSTEMS:
+        cells = []
+        for points in POINT_COUNTS.values():
+            r = results[(name, points)]
+            cells.append("FAILED" if r.failed else f"{r.memory_bytes / GB:.0f}GB")
+        lines.append(f"{name:16s} " + "".join(f"{c:>28s}" for c in cells))
+    record_report("Fig. 4: memory usage (k-means, 11-node cluster)", lines)
+
+    # Shape assertions: before memory saturation (1B) Pangea needs strictly
+    # less memory than every layered stack; beyond that everyone surviving
+    # is pinned at roughly the full cluster budget.
+    for name, _ in SYSTEMS[1:]:
+        other = results[(name, 1_000_000_000)]
+        pangea = results[("pangea", 1_000_000_000)]
+        assert not other.failed
+        assert pangea.memory_bytes < other.memory_bytes, name
+    for points in POINT_COUNTS.values():
+        pangea = results[("pangea", points)]
+        assert not pangea.failed
+        for name, _ in SYSTEMS[1:]:
+            other = results[(name, points)]
+            if not other.failed:
+                assert pangea.memory_bytes <= other.memory_bytes * 1.1, (
+                    f"{name} at {points}"
+                )

@@ -1,0 +1,91 @@
+"""Fig. 5: TPC-H latency, Pangea vs Spark-over-HDFS (scale-100 shape).
+
+Pangea registers heterogeneous replicas (lineitem by l_orderkey and
+l_partkey, orders by o_orderkey and o_custkey, part/customer by their
+keys); the scheduler picks co-partitioned replicas and pipelines joins
+locally.  Spark reloads every input from HDFS, repartitions at query
+time, and pays JVM serialization everywhere.
+
+Paper shape: up to ~20x speedup on the replica-served join queries (Q04,
+Q12, Q13, Q14, Q17, Q22); smaller but >1x wins elsewhere.
+
+Scale-down: row counts shrink by ROW_SCALE while each record's logical
+bytes inflate by the same factor, so byte-driven costs stay at scale-100
+magnitude (DESIGN.md, substitutions).
+"""
+
+from conftest import record_report
+
+from repro import MachineProfile, PangeaCluster
+from repro.baselines.spark import SparkTpchScheduler
+from repro.query.scheduler import QueryScheduler
+from repro.sim.devices import GB, MB
+from repro.tpch import QUERIES, load_tpch, register_tpch_replicas
+
+SCALE = 0.004
+ROW_SCALE = 100 / SCALE  # logical scale-100 over actual rows
+NUM_NODES = 10
+ROW_BYTES = int(144 * ROW_SCALE)
+
+REPLICA_QUERIES = {"Q04", "Q12", "Q13", "Q14", "Q17", "Q22"}
+
+
+def _build(with_replicas: bool) -> PangeaCluster:
+    cluster = PangeaCluster(
+        num_nodes=NUM_NODES, profile=MachineProfile.r4_2xlarge(pool_bytes=80 * GB)
+    )
+    # Record-driven CPU costs scale with the same factor as the byte
+    # inflation, so each actual row carries its logical row-count's work.
+    for node in cluster.nodes:
+        node.cpu.per_object_overhead *= ROW_SCALE
+    load_tpch(cluster, scale=SCALE, page_size=256 * MB, row_scale=ROW_SCALE)
+    if with_replicas:
+        register_tpch_replicas(cluster, row_scale=ROW_SCALE)
+    return cluster
+
+
+def _run_all():
+    pangea_cluster = _build(with_replicas=True)
+    spark_cluster = _build(with_replicas=False)
+    rows = {}
+    for name, run in sorted(QUERIES.items()):
+        pangea = QueryScheduler(
+            pangea_cluster, broadcast_threshold=512 * MB, object_bytes=ROW_BYTES
+        )
+        start = pangea_cluster.simulated_seconds()
+        run(pangea)
+        pangea_seconds = pangea_cluster.simulated_seconds() - start
+
+        # Spark's autoBroadcastJoinThreshold default is 10MB; anything
+        # larger becomes a sort-merge join that repartitions both sides.
+        spark = SparkTpchScheduler(
+            spark_cluster, broadcast_threshold=10 * MB, object_bytes=ROW_BYTES
+        )
+        start = spark_cluster.simulated_seconds()
+        run(spark)
+        spark_seconds = spark_cluster.simulated_seconds() - start
+        rows[name] = (pangea_seconds, spark_seconds, pangea.metrics)
+    return rows
+
+
+def test_fig5_tpch_latency(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = [f"{'query':6s} {'pangea':>10s} {'spark/hdfs':>12s} {'speedup':>9s}  strategy"]
+    for name, (pangea_s, spark_s, metrics) in sorted(rows.items()):
+        strategy = "co-partitioned" if metrics.copartitioned_joins else (
+            "broadcast" if metrics.broadcast_joins else "scan/agg"
+        )
+        lines.append(
+            f"{name:6s} {pangea_s:9.1f}s {spark_s:11.1f}s {spark_s / pangea_s:8.1f}x"
+            f"  {strategy}"
+        )
+    record_report("Fig. 5: TPC-H latency, Pangea vs Spark over HDFS", lines)
+
+    # Shape assertions.
+    for name, (pangea_s, spark_s, _m) in rows.items():
+        assert spark_s > pangea_s, name
+    best = max(spark_s / pangea_s for pangea_s, spark_s, _ in rows.values())
+    assert best >= 8, f"expected a large win on replica-served queries, got {best:.1f}x"
+    for name in REPLICA_QUERIES:
+        _p, _s, metrics = rows[name]
+        assert metrics.copartitioned_joins >= 1, name

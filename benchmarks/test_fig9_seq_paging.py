@@ -1,0 +1,110 @@
+"""Fig. 9: page replacement policies for sequential access.
+
+Loop-sequential read-after-write over data exceeding memory (200-300M
+80-byte objects against a 14GB pool), under the data-aware policy, tuned
+DBMIN, MRU, and LRU — for both write-through (persistent) and write-back
+(transient) locality sets.
+
+Paper shape: for reading, data-aware / tuned-DBMIN / MRU beat LRU by
+1.6-2.5x (LRU evicts exactly what a loop re-reads next); data-aware gains
+up to ~50% over plain MRU/LRU and up to ~20% over tuned DBMIN; reading
+write-back data is slower than write-through data (spills happen during
+the read phase instead of the write phase).
+"""
+
+from conftest import record_report
+
+from repro import MachineProfile, PangeaCluster
+from repro.sim.devices import GB, MB
+
+OBJECT_BYTES = 80
+COUNTS = [200, 250, 300]  # millions of objects
+ACTUAL_OBJECTS = 4096
+SCANS = 3
+WORKERS = 4
+POOL = 14 * GB
+POLICIES = ["data-aware", "dbmin-tuned", "mru", "lru"]
+
+WRITE_SECONDS_PER_OBJECT = 1.2e-6
+READ_SECONDS_PER_OBJECT = 0.25e-6
+
+
+def run_one(policy: str, millions: int, durability: str) -> dict:
+    logical = millions * 1_000_000
+    represent = logical / ACTUAL_OBJECTS
+    cluster = PangeaCluster(
+        num_nodes=1,
+        profile=MachineProfile.m3_xlarge(num_disks=1, pool_bytes=POOL),
+        policy=policy,
+    )
+    node = cluster.nodes[0]
+    data = cluster.create_set(
+        "seq", durability=durability, page_size=64 * MB,
+        object_bytes=int(OBJECT_BYTES * represent),
+    )
+    start = node.now
+    data.add_data(list(range(ACTUAL_OBJECTS)))
+    node.cpu.parallel(logical * WRITE_SECONDS_PER_OBJECT, WORKERS)
+    write_seconds = node.now - start
+    start = node.now
+    for _ in range(SCANS):
+        for _record in data.scan_records(workers=WORKERS):
+            pass
+        node.cpu.parallel(logical * READ_SECONDS_PER_OBJECT, WORKERS)
+    read_seconds = node.now - start
+    return {"write": write_seconds, "read": read_seconds}
+
+
+def _run_all():
+    table = {}
+    for durability in ("write-through", "write-back"):
+        for millions in COUNTS:
+            for policy in POLICIES:
+                table[(durability, millions, policy)] = run_one(
+                    policy, millions, durability
+                )
+    return table
+
+
+def test_fig9_sequential_paging(benchmark):
+    table = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = []
+    for durability in ("write-through", "write-back"):
+        lines.append(f"[{durability}]")
+        lines.append(
+            f"{'Mobj':>5s} " + "".join(f"{p + ' w/r':>20s}" for p in POLICIES)
+        )
+        for millions in COUNTS:
+            cells = "".join(
+                f"{table[(durability, millions, p)]['write']:9.0f}"
+                f"/{table[(durability, millions, p)]['read']:<9.0f}s"
+                for p in POLICIES
+            )
+            lines.append(f"{millions:5d} {cells}")
+        lines.append("")
+    lines.append("paper: data-aware/DBMIN/MRU read 1.6-2.5x faster than LRU;")
+    lines.append("data-aware up to 50% over MRU/LRU and 20% over tuned DBMIN;")
+    lines.append("write-back reads slower than write-through reads")
+    record_report("Fig. 9: page replacement for sequential access", lines)
+
+    for durability in ("write-through", "write-back"):
+        for millions in COUNTS:
+            aware = table[(durability, millions, "data-aware")]
+            dbmin = table[(durability, millions, "dbmin-tuned")]
+            mru = table[(durability, millions, "mru")]
+            lru = table[(durability, millions, "lru")]
+            # LRU loop-thrash: the others beat it clearly on reads.
+            assert lru["read"] > 1.3 * aware["read"], (durability, millions)
+            assert lru["read"] >= 0.95 * mru["read"], (durability, millions)
+            # Data-aware tracks the best alternatives closely (the paper
+            # itself notes that single-set micro-benchmarks show similar
+            # performance for data-aware, MRU and tuned DBMIN; its ~20%
+            # win over DBMIN comes from overlapping batched evictions
+            # with computation, which the cost model does not capture —
+            # see EXPERIMENTS.md, known deviations).
+            assert aware["read"] <= dbmin["read"] * 1.30, (durability, millions)
+            assert aware["read"] <= mru["read"] * 1.05, (durability, millions)
+    # Reading spilled write-back data costs more than write-through data.
+    wb = table[("write-back", 300, "data-aware")]
+    wt = table[("write-through", 300, "data-aware")]
+    assert wb["read"] >= wt["read"]

@@ -1,0 +1,73 @@
+"""Tab. 3: shuffle read/write latency, 4 writers + 4 readers.
+
+Pangea's shuffle service (all data of one partition in one locality set,
+at most ``partitions`` spill files) vs the paper's C++-simulated Spark
+shuffle (``cores x partitions`` files, one malloc + fwrite per object).
+
+Paper shape: write 1.1-1.4x faster; read 2.2-27x faster (cached reads are
+near-free for Pangea; past ~3500 MB/thread both degrade but Pangea's
+fewer files and better paging keep it ahead).
+"""
+
+from conftest import record_report
+from shuffle_common import POOL, run_pangea_shuffle
+
+from repro.baselines.host import BaselineHost
+from repro.baselines.spark import SparkShuffleSim
+from repro.sim.devices import MB
+from repro.sim.profiles import MachineProfile
+
+MB_PER_THREAD = [500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000, 5500, 6000]
+
+
+def run_spark_shuffle(mb_per_thread: int) -> dict:
+    host = BaselineHost(MachineProfile.m3_xlarge(num_disks=1))
+    sim = SparkShuffleSim(host, cache_bytes=POOL)
+    write_seconds = sim.write(mb_per_thread * MB)
+    read_seconds = sim.read(mb_per_thread * MB)
+    return {"write": write_seconds, "read": read_seconds}
+
+
+def _run_all():
+    table = {}
+    for mb in MB_PER_THREAD:
+        table[mb] = {
+            "spark": run_spark_shuffle(mb),
+            "pangea-1disk": run_pangea_shuffle(mb, num_disks=1),
+            "pangea-2disk": run_pangea_shuffle(mb, num_disks=2),
+        }
+    return table
+
+
+def test_tab3_shuffle_latency(benchmark):
+    table = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = [
+        f"{'MB/thread':>10s} {'spark w':>9s} {'spark r':>9s} "
+        f"{'pangea1 w':>10s} {'pangea1 r':>10s} {'pangea2 w':>10s} {'pangea2 r':>10s}"
+    ]
+    for mb in MB_PER_THREAD:
+        row = table[mb]
+        lines.append(
+            f"{mb:10d} {row['spark']['write']:8.0f}s {row['spark']['read']:8.0f}s "
+            f"{row['pangea-1disk']['write']:9.0f}s {row['pangea-1disk']['read']:9.0f}s "
+            f"{row['pangea-2disk']['write']:9.0f}s {row['pangea-2disk']['read']:9.0f}s"
+        )
+    lines.append("")
+    lines.append("paper: Pangea writes 1.1-1.4x faster, reads 2.2-27x faster")
+    record_report("Tab. 3: shuffle read/write latency (4 workers)", lines)
+
+    for mb in MB_PER_THREAD:
+        row = table[mb]
+        write_speedup = row["spark"]["write"] / row["pangea-1disk"]["write"]
+        read_speedup = row["spark"]["read"] / row["pangea-1disk"]["read"]
+        assert 1.0 <= write_speedup <= 2.0, (mb, write_speedup)
+        assert read_speedup >= 1.5, (mb, read_speedup)
+    # The read advantage is largest while Pangea still fits in memory.
+    cached = table[2000]["spark"]["read"] / table[2000]["pangea-1disk"]["read"]
+    spilled = table[6000]["spark"]["read"] / table[6000]["pangea-1disk"]["read"]
+    assert cached > spilled
+    assert cached >= 5
+    # Two disks help once the shuffle spills.
+    assert (
+        table[6000]["pangea-2disk"]["read"] < table[6000]["pangea-1disk"]["read"]
+    )

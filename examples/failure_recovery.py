@@ -1,0 +1,73 @@
+"""Heterogeneous replication doing double duty (the paper's Sec. 7 story).
+
+Two replicas of the same dataset, partitioned on *different* keys, serve
+both co-partitioned joins and failure recovery — no extra copies needed.
+Colliding objects (all copies on one node) are found at partitioning time
+and protected in a separate set.
+
+Run:  python examples/failure_recovery.py
+"""
+
+from repro import MB, MachineProfile, PangeaCluster
+from repro.placement import (
+    HashPartitioner,
+    expected_colliding_objects,
+    partition_set,
+    recover_node,
+    register_replica,
+)
+
+
+def main() -> None:
+    cluster = PangeaCluster(
+        num_nodes=5, profile=MachineProfile.tiny(pool_bytes=64 * MB)
+    )
+    sales = cluster.create_set("sales", page_size=1 * MB, object_bytes=100)
+    sales.add_data(
+        [{"order": i, "product": (i * 37) % 1000, "id": i} for i in range(5000)]
+    )
+    print(f"loaded {sales.num_objects} sales rows on {cluster.num_nodes} nodes")
+
+    # Two physical organizations of the same data.
+    by_order = cluster.create_set("sales_by_order", page_size=1 * MB,
+                                  object_bytes=100)
+    partition_set(sales, by_order,
+                  HashPartitioner(lambda r: r["order"], 20, key_name="order"))
+    by_product = cluster.create_set("sales_by_product", page_size=1 * MB,
+                                    object_bytes=100)
+    partition_set(sales, by_product,
+                  HashPartitioner(lambda r: r["product"], 20, key_name="product"))
+    group = register_replica(by_order, by_product, object_id_fn=lambda r: r["id"])
+
+    expected = expected_colliding_objects(5000, cluster.num_nodes,
+                                          num_replicas=len(group.members))
+    print(f"replication group: {[m.name for m in group.members]}")
+    print(f"colliding objects: {group.num_colliding} "
+          f"(expected ~{expected:.0f} for random placement) — "
+          f"protected in {group.colliding_set.name!r}")
+
+    # Kill a node and recover.
+    print("\nfailing node 2 ...")
+    report = recover_node(cluster, group, failed_node=2)
+    print(f"recovered {report.objects_recovered} objects "
+          f"({report.colliding_recovered} from the colliding-object set) "
+          f"in {report.seconds:.3f} simulated seconds")
+
+    # Verify both replicas are complete again.
+    for replica in (by_order, by_product):
+        ids = set()
+        for node_id, shard in replica.shards.items():
+            if node_id == 2:
+                continue
+            for page in shard.pages:
+                records = page.records or (
+                    shard.file._payloads.get(page.page_id, [])
+                    if page.on_disk else []
+                )
+                ids.update(r["id"] for r in records)
+        status = "complete" if ids == set(range(5000)) else "INCOMPLETE"
+        print(f"  {replica.name}: {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""k-means on Pangea vs layered Spark stacks (the paper's Fig. 3 story).
+
+Runs the same 1-billion-point workload (scaled down: each actual record
+represents 250k logical points) on monolithic Pangea and on three layered
+configurations, and prints the latency and memory comparison.
+
+Run:  python examples/kmeans_vs_layered.py
+"""
+
+from repro import GB, MachineProfile, PangeaCluster
+from repro.baselines.spark import SparkKMeans
+from repro.ml.kmeans import PangeaKMeans, generate_points
+
+NUM_LOGICAL = 1_000_000_000
+NUM_ACTUAL = 4_000
+NODES = 10
+
+
+def run_pangea():
+    cluster = PangeaCluster(
+        num_nodes=NODES, profile=MachineProfile.r4_2xlarge(pool_bytes=50 * GB)
+    )
+    km = PangeaKMeans(cluster, k=10, dims=10, workers=8)
+    points = generate_points(NUM_ACTUAL)
+    represent = NUM_LOGICAL / NUM_ACTUAL
+    data = km.load_points(points, represent=represent)
+    result = km.run(data, represent=represent, iterations=5)
+    return {
+        "init": result.init_seconds,
+        "iter": result.avg_iteration_seconds,
+        "total": cluster.simulated_seconds(),
+        "memory": result.peak_pool_bytes,
+    }
+
+
+def main() -> None:
+    print(f"{'system':16s} {'init':>8s} {'iter':>8s} {'total':>9s} {'memory':>9s}")
+    pangea = run_pangea()
+    print(
+        f"{'pangea':16s} {pangea['init']:7.1f}s {pangea['iter']:7.1f}s "
+        f"{pangea['total']:8.1f}s {pangea['memory'] / GB:7.0f}GB"
+    )
+    for backend in ("hdfs", "alluxio", "ignite"):
+        report = SparkKMeans(num_nodes=NODES, backend=backend).run(NUM_LOGICAL)
+        if report.failed:
+            print(f"{'spark-' + backend:16s} FAILED: {report.failure[:50]}")
+            continue
+        iters = sum(report.iteration_seconds) / len(report.iteration_seconds)
+        print(
+            f"{'spark-' + backend:16s} {report.init_seconds:7.1f}s {iters:7.1f}s "
+            f"{report.total_seconds:8.1f}s {report.memory_bytes / GB:7.0f}GB"
+        )
+    print()
+    print("The monolithic design wins on both axes: no (de)serialization at")
+    print("layer boundaries, no redundant caching, coordinated paging.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Data-aware paging vs the classics (the paper's Sec. 6 story).
+
+A read-after-write loop over data twice the size of the buffer pool: LRU
+evicts exactly the pages the loop needs next, while the data-aware policy
+(like MRU for sequential sets) keeps a stable prefix resident.
+
+Run:  python examples/paging_policies.py
+"""
+
+from repro import DbminBlockedError, MB, MachineProfile, PangeaCluster
+
+POLICIES = ["data-aware", "dbmin-tuned", "mru", "lru", "dbmin-adaptive"]
+
+
+def run(policy: str) -> "tuple[float, int] | None":
+    cluster = PangeaCluster(
+        num_nodes=1,
+        profile=MachineProfile.m3_xlarge(pool_bytes=32 * MB),
+        policy=policy,
+    )
+    node = cluster.nodes[0]
+    data = cluster.create_set(
+        "stream", durability="write-back", page_size=2 * MB,
+        object_bytes=128 * 1024,
+    )
+    try:
+        data.add_data(list(range(512)))  # 64MB over a 32MB pool
+        for _ in range(3):
+            for _record in data.scan_records(workers=4):
+                pass
+    except DbminBlockedError:
+        return None
+    return cluster.simulated_seconds(), node.pool.stats.bytes_paged_out // MB
+
+
+def main() -> None:
+    print(f"{'policy':>16s} {'seconds':>9s} {'paged out':>10s}")
+    baseline = None
+    for policy in POLICIES:
+        outcome = run(policy)
+        if outcome is None:
+            print(f"{policy:>16s}    BLOCKED (desired size exceeds the pool)")
+            continue
+        seconds, paged_mb = outcome
+        if policy == "data-aware":
+            baseline = seconds
+        ratio = f"({seconds / baseline:.1f}x)" if baseline else ""
+        print(f"{policy:>16s} {seconds:8.3f}s {paged_mb:8d}MB {ratio}")
+    print()
+    print("LRU thrashes on loop-sequential data; DBMIN variants that trust")
+    print("their size estimates block when the estimate exceeds memory.")
+
+
+if __name__ == "__main__":
+    main()

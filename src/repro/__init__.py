@@ -1,0 +1,65 @@
+"""Pangea: monolithic distributed storage for data analytics.
+
+A full Python reproduction of Zou, Iyengar & Jermaine (VLDB 2019).  See
+DESIGN.md for the system inventory and EXPERIMENTS.md for the paper-vs-
+measured record of every table and figure.
+
+Quickstart::
+
+    from repro import PangeaCluster, MachineProfile, MB
+
+    cluster = PangeaCluster(num_nodes=4, profile=MachineProfile.r4_2xlarge())
+    data = cluster.create_set("points", durability="write-through",
+                              page_size=64 * MB, object_bytes=80)
+    data.add_data(records)
+    for record in data.scan_records(workers=8):
+        ...
+    print(cluster.simulated_seconds())
+"""
+
+from repro.buffer import BufferPool, BufferPoolFullError, SlabAllocator, TlsfAllocator
+from repro.cluster import AuthError, KeyPair, Manager, PangeaCluster, WorkerNode
+from repro.core import (
+    CurrentOperation,
+    DataAwarePolicy,
+    DbminBlockedError,
+    DurabilityType,
+    LocalitySet,
+    LocalitySetAttributes,
+    PagingSystem,
+    ReadingPattern,
+    WritingPattern,
+    make_policy,
+)
+from repro.sim import MachineProfile, SimClock
+from repro.sim.devices import GB, KB, MB
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PangeaCluster",
+    "WorkerNode",
+    "Manager",
+    "KeyPair",
+    "AuthError",
+    "LocalitySet",
+    "LocalitySetAttributes",
+    "DurabilityType",
+    "WritingPattern",
+    "ReadingPattern",
+    "CurrentOperation",
+    "PagingSystem",
+    "DataAwarePolicy",
+    "DbminBlockedError",
+    "make_policy",
+    "BufferPool",
+    "BufferPoolFullError",
+    "TlsfAllocator",
+    "SlabAllocator",
+    "MachineProfile",
+    "SimClock",
+    "KB",
+    "MB",
+    "GB",
+    "__version__",
+]

@@ -1,0 +1,186 @@
+"""Command-line entry points: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``                — version, module inventory, device defaults
+* ``tpch-gen``            — generate TPC-H tables and print row counts
+* ``tpch-run``            — load TPC-H, run the queries, report timings
+* ``kmeans``              — run the k-means comparison (Fig. 3 story)
+* ``policies``            — compare paging policies on a scan workload
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.sim.devices import GB, MB
+    from repro.sim.profiles import MachineProfile
+
+    print(f"repro (Pangea reproduction) version {repro.__version__}")
+    print()
+    for name in ("r4_2xlarge", "m3_xlarge"):
+        profile = getattr(MachineProfile, name)()
+        print(
+            f"profile {profile.name:12s}: {profile.cores} cores, "
+            f"{profile.memory_bytes / GB:.0f}GB RAM, "
+            f"{profile.pool_bytes / GB:.0f}GB pool, "
+            f"{profile.num_disks} disk(s) @ "
+            f"{profile.disk.read_bandwidth / MB:.0f}/"
+            f"{profile.disk.write_bandwidth / MB:.0f} MB/s"
+        )
+    print()
+    print("subpackages: sim buffer core fs cluster services placement "
+          "query tpch ml baselines")
+    return 0
+
+
+def cmd_tpch_gen(args: argparse.Namespace) -> int:
+    from repro.tpch.datagen import TpchGenerator
+
+    generator = TpchGenerator(scale=args.scale, seed=args.seed)
+    tables = generator.all_tables()
+    print(f"TPC-H at fractional scale {args.scale} (seed {args.seed}):")
+    for name, rows in tables.items():
+        print(f"  {name:10s} {len(rows):10,d} rows")
+    return 0
+
+
+def cmd_tpch_run(args: argparse.Namespace) -> int:
+    from repro import GB, MB, MachineProfile, PangeaCluster
+    from repro.query.scheduler import QueryScheduler
+    from repro.tpch import (
+        EXTRA_QUERIES,
+        FULL_QUERIES,
+        QUERIES,
+        load_tpch,
+        register_tpch_replicas,
+    )
+
+    cluster = PangeaCluster(
+        num_nodes=args.nodes, profile=MachineProfile.tiny(pool_bytes=1 * GB)
+    )
+    load_tpch(cluster, scale=args.scale)
+    if args.replicas:
+        register_tpch_replicas(cluster)
+        print("heterogeneous replicas registered")
+    queries = dict(QUERIES)
+    if args.extended:
+        queries.update(EXTRA_QUERIES)
+        queries.update(FULL_QUERIES)
+    print(f"{'query':6s} {'rows':>6s} {'seconds':>10s}")
+    for name, run in sorted(queries.items()):
+        scheduler = QueryScheduler(cluster, broadcast_threshold=4 * MB,
+                                   object_bytes=144)
+        start = cluster.simulated_seconds()
+        rows = run(scheduler)
+        seconds = cluster.simulated_seconds() - start
+        print(f"{name:6s} {len(rows):6d} {seconds:9.4f}s")
+    return 0
+
+
+def cmd_kmeans(args: argparse.Namespace) -> int:
+    from repro import GB, MachineProfile, PangeaCluster
+    from repro.baselines.spark import SparkKMeans
+    from repro.ml.kmeans import PangeaKMeans, generate_points
+
+    points = args.points
+    actual = min(8000, max(1000, points // 250_000))
+    represent = points / actual
+    cluster = PangeaCluster(
+        num_nodes=args.nodes,
+        profile=MachineProfile.r4_2xlarge(pool_bytes=50 * GB),
+        policy=args.policy,
+    )
+    km = PangeaKMeans(cluster, k=10, dims=10, workers=8)
+    data = km.load_points(generate_points(actual), represent=represent)
+    result = km.run(data, represent=represent, iterations=args.iterations)
+    print(f"pangea ({args.policy}): init={result.init_seconds:.1f}s "
+          f"iter={result.avg_iteration_seconds:.1f}s "
+          f"total={cluster.simulated_seconds():.1f}s")
+    if args.compare:
+        for backend in ("hdfs", "alluxio", "ignite"):
+            report = SparkKMeans(num_nodes=args.nodes, backend=backend).run(
+                points, iterations=args.iterations
+            )
+            if report.failed:
+                print(f"spark-{backend}: FAILED ({report.failure[:50]})")
+            else:
+                print(f"spark-{backend}: init={report.init_seconds:.1f}s "
+                      f"total={report.total_seconds:.1f}s")
+    return 0
+
+
+def cmd_policies(args: argparse.Namespace) -> int:
+    from repro import DbminBlockedError, MB, MachineProfile, PangeaCluster
+
+    print(f"{'policy':>16s} {'seconds':>9s}")
+    for policy in args.policies.split(","):
+        cluster = PangeaCluster(
+            num_nodes=1,
+            profile=MachineProfile.m3_xlarge(pool_bytes=args.pool_mb * MB),
+            policy=policy.strip(),
+        )
+        data = cluster.create_set(
+            "stream", durability="write-back", page_size=2 * MB,
+            object_bytes=128 * 1024,
+        )
+        try:
+            data.add_data(list(range(args.pool_mb * 16)))  # 2x the pool
+            for _ in range(3):
+                for _record in data.scan_records(workers=4):
+                    pass
+            print(f"{policy.strip():>16s} {cluster.simulated_seconds():8.3f}s")
+        except DbminBlockedError:
+            print(f"{policy.strip():>16s}   BLOCKED")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Pangea reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version and environment summary")
+
+    p = sub.add_parser("tpch-gen", help="generate TPC-H tables")
+    p.add_argument("--scale", type=float, default=0.001)
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("tpch-run", help="run TPC-H queries on a cluster")
+    p.add_argument("--scale", type=float, default=0.002)
+    p.add_argument("--nodes", type=int, default=3)
+    p.add_argument("--replicas", action="store_true")
+    p.add_argument("--extended", action="store_true",
+                   help="run all 22 TPC-H queries, not just the paper's nine")
+
+    p = sub.add_parser("kmeans", help="k-means comparison")
+    p.add_argument("--points", type=int, default=1_000_000_000)
+    p.add_argument("--nodes", type=int, default=10)
+    p.add_argument("--iterations", type=int, default=5)
+    p.add_argument("--policy", default="data-aware")
+    p.add_argument("--compare", action="store_true",
+                   help="also run the Spark baselines")
+
+    p = sub.add_parser("policies", help="compare paging policies")
+    p.add_argument("--policies",
+                   default="data-aware,dbmin-tuned,mru,lru,greedy-dual,lru-2")
+    p.add_argument("--pool-mb", type=int, default=32)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "tpch-gen": cmd_tpch_gen,
+        "tpch-run": cmd_tpch_run,
+        "kmeans": cmd_kmeans,
+        "policies": cmd_policies,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

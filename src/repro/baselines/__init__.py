@@ -1,0 +1,43 @@
+"""Layered-system baselines (the paper's comparison points).
+
+Each baseline is a faithful *cost-model* implementation of a layered stack
+running on the same simulated hardware as Pangea: it executes the same
+workload state transitions (caches fill, pages swap, memory limits trip)
+and charges exactly the architectural costs the paper attributes to
+layering — serialization at every layer crossing, kernel/user and
+client/server copies, redundant caching, JVM object expansion, waves of
+tasks, and uncoordinated paging.
+"""
+
+from repro.baselines.alluxio import AlluxioOutOfMemoryError, AlluxioWorker
+from repro.baselines.hdfs import HdfsCluster
+from repro.baselines.host import BaselineHost
+from repro.baselines.ignite import IgniteSegfaultError, IgniteSharedRdd
+from repro.baselines.os_fs import OsFileSystem
+from repro.baselines.os_vm import OsVirtualMemory
+from repro.baselines.redis_kv import RedisOutOfMemoryError, RedisServer
+from repro.baselines.spark import (
+    SparkKMeans,
+    SparkShuffleSim,
+    SparkSystemReport,
+    SparkTpchScheduler,
+)
+from repro.baselines.stl_map import StlUnorderedMap
+
+__all__ = [
+    "BaselineHost",
+    "OsVirtualMemory",
+    "OsFileSystem",
+    "HdfsCluster",
+    "AlluxioWorker",
+    "AlluxioOutOfMemoryError",
+    "IgniteSharedRdd",
+    "IgniteSegfaultError",
+    "RedisServer",
+    "RedisOutOfMemoryError",
+    "StlUnorderedMap",
+    "SparkKMeans",
+    "SparkShuffleSim",
+    "SparkSystemReport",
+    "SparkTpchScheduler",
+]

@@ -1,0 +1,74 @@
+"""Alluxio baseline (paper Figs. 3, 4, 7): an in-memory file system layer.
+
+Data written to Alluxio is serialized into the worker's memory over a
+client/worker boundary; reads copy back out and deserialize.  The worker
+cannot hold more data than its configured memory — the paper notes
+"Alluxio doesn't support writing more data than its configured memory
+size", which is why Alluxio lines stop early in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.host import BaselineHost
+
+
+class AlluxioOutOfMemoryError(MemoryError):
+    """Write would exceed the Alluxio worker's configured memory."""
+
+
+class AlluxioWorker:
+    """One Alluxio worker process co-located with a host."""
+
+    def __init__(
+        self,
+        host: BaselineHost,
+        memory_bytes: int,
+        per_object_seconds: float = 0.4e-6,
+    ) -> None:
+        if memory_bytes <= 0:
+            raise ValueError("Alluxio worker memory must be positive")
+        self.host = host
+        self.memory_bytes = memory_bytes
+        #: Java client per-object overhead (the paper's NIO ByteBuffer
+        #: client is 3× faster than the JNI C++ one; this models the fast one).
+        self.per_object_seconds = per_object_seconds
+        self._file_bytes: dict[str, int] = {}
+        self.used_bytes = 0
+
+    def write(
+        self, name: str, nbytes: int, num_objects: int = 1, workers: int = 1
+    ) -> None:
+        """Serialize + copy ``nbytes`` into worker memory."""
+        if nbytes < 0:
+            raise ValueError("cannot write a negative number of bytes")
+        if self.used_bytes + nbytes > self.memory_bytes:
+            raise AlluxioOutOfMemoryError(
+                f"Alluxio worker has {self.memory_bytes - self.used_bytes} free "
+                f"bytes; cannot write {nbytes}"
+            )
+        self.host.cpu.serialize(nbytes, workers)
+        self.host.cpu.memcpy(nbytes, workers)  # client → worker copy
+        self.host.cpu.parallel(num_objects * self.per_object_seconds, workers)
+        self._file_bytes[name] = self._file_bytes.get(name, 0) + nbytes
+        self.used_bytes += nbytes
+
+    def read(
+        self, name: str, nbytes: int, num_objects: int = 1, workers: int = 1
+    ) -> None:
+        """Copy out of worker memory + deserialize on the client."""
+        stored = self._file_bytes.get(name)
+        if stored is None:
+            raise KeyError(f"no Alluxio file named {name!r}")
+        if nbytes > stored:
+            raise ValueError(f"file {name!r} holds {stored} bytes, cannot read {nbytes}")
+        self.host.cpu.memcpy(nbytes, workers)  # worker → client copy
+        self.host.cpu.deserialize(nbytes, workers)
+        self.host.cpu.parallel(num_objects * self.per_object_seconds, workers)
+
+    def delete(self, name: str) -> None:
+        """Bulk removal is cheap (data is organized in large blocks)."""
+        nbytes = self._file_bytes.pop(name, 0)
+        self.used_bytes -= nbytes
+
+    def file_bytes(self, name: str) -> int:
+        return self._file_bytes.get(name, 0)

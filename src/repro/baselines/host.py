@@ -1,0 +1,39 @@
+"""A bare simulated machine for baselines (no Pangea components)."""
+
+from __future__ import annotations
+
+from repro.sim.clock import SimClock
+from repro.sim.devices import DiskArray
+from repro.sim.profiles import MachineProfile
+
+
+class BaselineHost:
+    """Clock + CPU + disks + network built from a machine profile.
+
+    The same hardware a :class:`~repro.cluster.node.WorkerNode` gets, so
+    baseline-vs-Pangea comparisons differ only in software architecture.
+    """
+
+    def __init__(self, profile: MachineProfile, host_id: int = 0) -> None:
+        self.profile = profile
+        self.host_id = host_id
+        self.clock = SimClock()
+        self.cpu = profile.build_cpu()
+        self.cpu.clock = self.clock
+        disks = profile.build_disks(host_id)
+        for disk in disks:
+            disk.clock = self.clock
+        self.disks = DiskArray(disks)
+        self.network = profile.build_network()
+        self.network.clock = self.clock
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.profile.memory_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BaselineHost(id={self.host_id}, profile={self.profile.name})"

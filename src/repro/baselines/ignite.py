@@ -1,0 +1,89 @@
+"""Apache Ignite SharedRDD baseline (paper Figs. 3-4).
+
+Ignite stores data in fixed 16KB off-heap pages and is optimized for
+random access and updates on mutable data; bulk analytics suffer from
+(a) the hard 16KB page-size limit, (b) memory compaction to fight
+fragmentation (the paper profiles ~40% of run time spent compacting), and
+(c) a hard off-heap region limit — exceeding it segfaults (the paper's 2
+billion point runs).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.host import BaselineHost
+from repro.sim.devices import KB
+
+
+class IgniteSegfaultError(RuntimeError):
+    """The paper's observed failure mode when data exceeds the off-heap
+    region: the Ignite process crashes with a segmentation fault."""
+
+
+class IgniteSharedRdd:
+    """One Ignite data region on a host."""
+
+    PAGE_BYTES = 16 * KB
+
+    def __init__(
+        self,
+        host: BaselineHost,
+        heap_bytes: int,
+        offheap_bytes: int,
+        per_page_seconds: float = 4e-6,
+        compaction_fraction: float = 0.40,
+        per_object_seconds: float = 0.5e-6,
+    ) -> None:
+        self.host = host
+        self.heap_bytes = heap_bytes
+        self.offheap_bytes = offheap_bytes
+        self.per_page_seconds = per_page_seconds
+        self.compaction_fraction = compaction_fraction
+        self.per_object_seconds = per_object_seconds
+        self.used_bytes = 0
+        self._datasets: dict[str, int] = {}
+
+    def _charge_with_compaction(self, seconds: float, workers: int = 1) -> None:
+        """Compaction steals a fixed fraction of total processing time."""
+        inflated = seconds / (1.0 - self.compaction_fraction)
+        self.host.cpu.parallel(inflated, workers)
+
+    def write(
+        self, name: str, nbytes: int, num_objects: int = 1, workers: int = 1
+    ) -> None:
+        if nbytes < 0:
+            raise ValueError("cannot write a negative number of bytes")
+        if self.used_bytes + nbytes > self.offheap_bytes:
+            raise IgniteSegfaultError(
+                f"off-heap region overflow: {self.used_bytes + nbytes} > "
+                f"{self.offheap_bytes} bytes (the paper observed a segfault here)"
+            )
+        pages = max(1, nbytes // self.PAGE_BYTES)
+        serialize = nbytes / self.host.cpu.serialize_bandwidth
+        page_mgmt = pages * self.per_page_seconds
+        objects = num_objects * self.per_object_seconds
+        self._charge_with_compaction(serialize + page_mgmt + objects, workers)
+        self._datasets[name] = self._datasets.get(name, 0) + nbytes
+        self.used_bytes += nbytes
+
+    def read(
+        self, name: str, nbytes: int, num_objects: int = 1, workers: int = 1
+    ) -> None:
+        stored = self._datasets.get(name)
+        if stored is None:
+            raise KeyError(f"no Ignite dataset named {name!r}")
+        if nbytes > stored:
+            raise ValueError(f"dataset {name!r} holds {stored} bytes")
+        pages = max(1, nbytes // self.PAGE_BYTES)
+        deserialize = nbytes / self.host.cpu.deserialize_bandwidth
+        page_mgmt = pages * self.per_page_seconds
+        objects = num_objects * self.per_object_seconds
+        self._charge_with_compaction(deserialize + page_mgmt + objects, workers)
+
+    def delete(self, name: str) -> None:
+        nbytes = self._datasets.pop(name, 0)
+        self.used_bytes -= nbytes
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """Heap plus configured off-heap (what Fig. 4 accounts)."""
+        return self.heap_bytes + self.offheap_bytes

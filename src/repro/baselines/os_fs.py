@@ -1,0 +1,155 @@
+"""OS file system baseline (paper Fig. 8 and the simulated Spark shuffle).
+
+Models buffered file I/O through the kernel page cache: every read and
+write crosses the kernel/user boundary with a memory copy (the overhead
+Pangea's shared-memory direct-I/O path avoids), the cache holds recently
+used file bytes with LRU eviction, and dirty bytes are written back when
+the cache overflows or on flush.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class CachedFile:
+    total_bytes: int = 0
+    cached_bytes: int = 0
+    dirty_bytes: int = 0
+
+
+@dataclass
+class FsStats:
+    disk_bytes_written: int = 0
+    disk_bytes_read: int = 0
+    cache_hits_bytes: int = 0
+    cache_miss_bytes: int = 0
+
+    def reset(self) -> None:
+        self.disk_bytes_written = 0
+        self.disk_bytes_read = 0
+        self.cache_hits_bytes = 0
+        self.cache_miss_bytes = 0
+
+
+class OsFileSystem:
+    """Files over a kernel buffer cache of ``cache_bytes``."""
+
+    def __init__(self, host, cache_bytes: int, io_chunk_bytes: int = 1 << 20) -> None:
+        if cache_bytes <= 0:
+            raise ValueError("buffer cache must have positive capacity")
+        self.host = host
+        self.cache_bytes = cache_bytes
+        self.io_chunk_bytes = io_chunk_bytes
+        self._files: "OrderedDict[str, CachedFile]" = OrderedDict()
+        self.stats = FsStats()
+
+    # ------------------------------------------------------------------
+    # cache bookkeeping
+    # ------------------------------------------------------------------
+
+    @property
+    def cached_total(self) -> int:
+        return sum(f.cached_bytes for f in self._files.values())
+
+    def _touch(self, name: str) -> CachedFile:
+        handle = self._files.get(name)
+        if handle is None:
+            handle = CachedFile()
+            self._files[name] = handle
+        else:
+            self._files.move_to_end(name)
+        return handle
+
+    def _make_room(self, nbytes: int) -> None:
+        """Evict least-recently-used file bytes; write back dirty ones."""
+        needed = self.cached_total + nbytes - self.cache_bytes
+        if needed <= 0:
+            return
+        for name in list(self._files):
+            if needed <= 0:
+                break
+            victim = self._files[name]
+            evict = min(victim.cached_bytes, needed)
+            if evict <= 0:
+                continue
+            if victim.cached_bytes > 0 and victim.dirty_bytes > 0:
+                dirty_share = min(
+                    victim.dirty_bytes,
+                    int(evict * victim.dirty_bytes / victim.cached_bytes) + 1,
+                )
+                self._disk_write(dirty_share)
+                victim.dirty_bytes -= dirty_share
+            victim.cached_bytes -= evict
+            needed -= evict
+
+    # ------------------------------------------------------------------
+    # file operations
+    # ------------------------------------------------------------------
+
+    def write(self, name: str, nbytes: int, workers: int = 1) -> None:
+        """Buffered write: user→kernel copy, cache insert, lazy writeback."""
+        if nbytes < 0:
+            raise ValueError("cannot write a negative number of bytes")
+        handle = self._touch(name)
+        self.host.cpu.memcpy(nbytes, workers)
+        self._make_room(nbytes)
+        room = self.cache_bytes - (self.cached_total)
+        cached_now = min(nbytes, max(0, room))
+        spilled_now = nbytes - cached_now
+        handle.total_bytes += nbytes
+        handle.cached_bytes += cached_now
+        handle.dirty_bytes += cached_now
+        if spilled_now > 0:
+            self._disk_write(spilled_now)
+
+    def read(self, name: str, nbytes: int, workers: int = 1) -> None:
+        """Buffered read: kernel→user copy plus disk for the uncached part."""
+        handle = self._touch(name)
+        if nbytes > handle.total_bytes:
+            raise ValueError(
+                f"file {name!r} holds {handle.total_bytes} bytes, "
+                f"cannot read {nbytes}"
+            )
+        hit_fraction = (
+            handle.cached_bytes / handle.total_bytes if handle.total_bytes else 1.0
+        )
+        hit = int(nbytes * hit_fraction)
+        miss = nbytes - hit
+        self.stats.cache_hits_bytes += hit
+        self.stats.cache_miss_bytes += miss
+        if miss > 0:
+            self._disk_read(miss)
+            self._make_room(miss)
+            room = self.cache_bytes - self.cached_total
+            handle.cached_bytes += min(miss, max(0, room))
+        self.host.cpu.memcpy(nbytes, workers)
+
+    def flush(self, name: str) -> None:
+        """fsync: force dirty bytes to disk."""
+        handle = self._files.get(name)
+        if handle is None or handle.dirty_bytes <= 0:
+            return
+        self._disk_write(handle.dirty_bytes)
+        handle.dirty_bytes = 0
+
+    def delete(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    def file_bytes(self, name: str) -> int:
+        handle = self._files.get(name)
+        return handle.total_bytes if handle else 0
+
+    # ------------------------------------------------------------------
+    # device charging
+    # ------------------------------------------------------------------
+
+    def _disk_write(self, nbytes: int) -> None:
+        self.stats.disk_bytes_written += nbytes
+        self.host.disks.write(nbytes, num_ios=max(1, nbytes // self.io_chunk_bytes))
+
+    def _disk_read(self, nbytes: int) -> None:
+        self.stats.disk_bytes_read += nbytes
+        self.host.disks.read(nbytes, num_ios=max(1, nbytes // self.io_chunk_bytes))

@@ -1,0 +1,132 @@
+"""OS virtual memory baseline (paper Fig. 7 and Tab. 4 substrate).
+
+Models anonymous memory managed by the kernel: 4KB pages, a global LRU
+with *page stealing* (kswapd evicts extra pages even without direct
+demand — the paper measures 2.5× the page-out volume Pangea generates for
+the same scan), and swap I/O in small clustered chunks rather than
+Pangea's 64MB pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.host import BaselineHost
+from repro.sim.devices import KB
+
+
+@dataclass
+class VmStats:
+    bytes_paged_out: int = 0
+    bytes_paged_in: int = 0
+
+    def reset(self) -> None:
+        self.bytes_paged_out = 0
+        self.bytes_paged_in = 0
+
+
+class OsVirtualMemory:
+    """malloc/free plus sequential and random access over kernel paging."""
+
+    def __init__(
+        self,
+        host: BaselineHost,
+        memory_bytes: int | None = None,
+        swap_io_bytes: int = 16 * KB,
+        steal_factor: float = 2.5,
+        malloc_seconds: float = 120e-9,
+        free_seconds: float = 90e-9,
+    ) -> None:
+        self.host = host
+        self.memory_bytes = memory_bytes or host.memory_bytes
+        self.swap_io_bytes = swap_io_bytes
+        self.steal_factor = steal_factor
+        self.malloc_seconds = malloc_seconds
+        self.free_seconds = free_seconds
+        self.data_bytes = 0
+        #: bytes currently resident (the rest live in swap)
+        self.resident_bytes = 0
+        self.stats = VmStats()
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    @property
+    def overflow_bytes(self) -> int:
+        return max(0, self.data_bytes - self.memory_bytes)
+
+    def malloc_objects(self, count: int, obj_bytes: int, workers: int = 1) -> None:
+        """Allocate and first-touch ``count`` objects of ``obj_bytes``."""
+        if count < 0 or obj_bytes <= 0:
+            raise ValueError("need non-negative count and positive object size")
+        total = count * obj_bytes
+        self.host.cpu.parallel(count * self.malloc_seconds, workers)
+        self.host.cpu.memcpy(total, workers)
+        self.data_bytes += total
+        self.resident_bytes = min(self.memory_bytes, self.resident_bytes + total)
+        # Growing past RAM swaps out the overflow, with page stealing
+        # writing more than strictly demanded.
+        new_overflow = max(0, self.data_bytes - self.memory_bytes)
+        if new_overflow > 0:
+            to_write = min(total, int(new_overflow * 1.0))
+            stolen = int(to_write * self.steal_factor)
+            self._swap_out(stolen)
+
+    def free_all(self, count: int, obj_bytes: int, workers: int = 1) -> None:
+        """Deallocate object by object (the overhead Pangea's bulk
+        page-drop avoids, paper Sec. 9.2.1)."""
+        self.host.cpu.parallel(count * self.free_seconds, workers)
+        self.data_bytes = max(0, self.data_bytes - count * obj_bytes)
+        self.resident_bytes = min(self.resident_bytes, self.data_bytes)
+
+    # ------------------------------------------------------------------
+    # access patterns
+    # ------------------------------------------------------------------
+
+    def sequential_scan(self, compute_seconds_per_byte: float = 0.0, workers: int = 1) -> None:
+        """One full sequential pass over the data.
+
+        When the working set exceeds RAM, a loop-sequential scan under LRU
+        misses on the overflow every pass (and page stealing writes dirty
+        pages back even when re-reads would not require it).
+        """
+        overflow = self.overflow_bytes
+        if overflow > 0:
+            page_in = int(overflow * self.steal_factor)
+            page_out = int(overflow * self.steal_factor)
+            self._swap_out(page_out)
+            self._swap_in(page_in)
+        self.host.cpu.memcpy(self.data_bytes, workers)
+        if compute_seconds_per_byte:
+            self.host.cpu.parallel(self.data_bytes * compute_seconds_per_byte, workers)
+
+    def random_touch(self, count: int, obj_bytes: int, workers: int = 1) -> None:
+        """Random accesses: each touch faults with probability overflow/data."""
+        if self.data_bytes <= 0:
+            return
+        fault_prob = self.overflow_bytes / self.data_bytes
+        faults = int(count * fault_prob)
+        if faults:
+            # Each random fault swaps one 4KB page in (paying its own I/O
+            # latency) and dirties another that must eventually swap out.
+            self.stats.bytes_paged_in += faults * 4 * KB
+            self.host.disks.read(faults * 4 * KB, num_ios=faults)
+            self._swap_out(int(faults * 4 * KB * 0.5))
+        self.host.cpu.parallel(count * 40e-9, workers)
+
+    # ------------------------------------------------------------------
+    # swap I/O
+    # ------------------------------------------------------------------
+
+    def _swap_out(self, nbytes: int) -> None:
+        if nbytes <= 0:
+            return
+        self.stats.bytes_paged_out += nbytes
+        self.host.disks.write(nbytes, num_ios=max(1, nbytes // self.swap_io_bytes))
+
+    def _swap_in(self, nbytes: int) -> None:
+        if nbytes <= 0:
+            return
+        self.stats.bytes_paged_in += nbytes
+        self.host.disks.read(nbytes, num_ios=max(1, nbytes // self.swap_io_bytes))

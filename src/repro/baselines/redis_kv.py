@@ -1,0 +1,69 @@
+"""Redis baseline (paper Tab. 4).
+
+Redis is a client/server store: every operation crosses a socket, and the
+computation cannot run on local data — the architectural cost the paper
+blames for Redis losing to the in-process Pangea hash map by up to 30×.
+Past the memory limit the server thrashes against swap; well past it, it
+fails (the paper's 300M-key run).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.host import BaselineHost
+from repro.sim.devices import KB
+
+
+class RedisOutOfMemoryError(MemoryError):
+    """The server cannot grow further (paper: 'failed')."""
+
+
+class RedisServer:
+    """A single-node Redis with pipelined clients."""
+
+    def __init__(
+        self,
+        host: BaselineHost,
+        memory_bytes: int | None = None,
+        per_op_seconds: float = 1.0e-6,
+        per_entry_bytes: int = 104,
+        fault_seconds: float = 150e-6,
+        fail_over_factor: float = 2.0,
+    ) -> None:
+        self.host = host
+        self.memory_bytes = memory_bytes or host.memory_bytes
+        #: Amortized pipelined round trip + command parsing + reply.
+        self.per_op_seconds = per_op_seconds
+        #: Redis entry overhead: SDS header, dictEntry, robj, jemalloc bins.
+        self.per_entry_bytes = per_entry_bytes
+        self.fault_seconds = fault_seconds
+        self.fail_over_factor = fail_over_factor
+        self.num_keys = 0
+
+    @property
+    def needed_bytes(self) -> int:
+        return self.num_keys * self.per_entry_bytes
+
+    def _fault_probability(self) -> float:
+        if self.needed_bytes <= self.memory_bytes:
+            return 0.0
+        return 1.0 - self.memory_bytes / self.needed_bytes
+
+    def execute_ops(self, count: int, new_keys: int = 0, workers: int = 1) -> None:
+        """Run ``count`` SET/INCR-style commands, ``new_keys`` of them new."""
+        if count < 0 or new_keys < 0 or new_keys > count:
+            raise ValueError("bad operation counts")
+        self.num_keys += new_keys
+        if self.needed_bytes > self.memory_bytes * self.fail_over_factor:
+            raise RedisOutOfMemoryError(
+                f"Redis needs {self.needed_bytes} bytes against "
+                f"{self.memory_bytes} of RAM; the server is killed"
+            )
+        self.host.cpu.parallel(count * self.per_op_seconds, workers)
+        num_faults = int(count * self._fault_probability())
+        if num_faults:
+            # Each fault swaps one 4KB page in; the per-I/O latency is the
+            # dominant cost (this is what fault_seconds calibrates).
+            self.host.disks.read(num_faults * 4 * KB, num_ios=num_faults)
+
+    def flush_all(self) -> None:
+        self.num_keys = 0

@@ -1,0 +1,56 @@
+"""STL unordered_map baseline (paper Tab. 4).
+
+An in-process hash map using the default general-purpose allocator over
+OS virtual memory.  Its per-entry overhead (bucket pointers, chain nodes,
+allocator headers) is worse than the Memcached slab allocator Pangea
+embeds in its hash pages, so it starts swapping at 200M keys where Pangea
+only starts spilling at 300M — and random probes against swap thrash.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.host import BaselineHost
+from repro.baselines.os_vm import OsVirtualMemory
+
+
+class StlUnorderedMap:
+    """Cost model of ``std::unordered_map<std::string, int>``."""
+
+    def __init__(
+        self,
+        host: BaselineHost,
+        memory_bytes: int | None = None,
+        per_entry_bytes: int = 88,
+        per_op_seconds: float = 0.9e-6,
+        rehash_factor: float = 1.6,
+    ) -> None:
+        self.host = host
+        self.vm = OsVirtualMemory(host, memory_bytes or host.memory_bytes)
+        #: chain node (32) + key SSO buffer spill (24) + bucket share + padding
+        self.per_entry_bytes = per_entry_bytes
+        self.per_op_seconds = per_op_seconds
+        #: amortized growth: rehashing moves every entry ~0.6 extra times
+        self.rehash_factor = rehash_factor
+        self.num_keys = 0
+
+    def insert_ops(self, count: int, new_keys: int, workers: int = 1) -> None:
+        """Apply ``count`` aggregate operations, ``new_keys`` of them inserts."""
+        if count < 0 or new_keys < 0 or new_keys > count:
+            raise ValueError("bad operation counts")
+        self.num_keys += new_keys
+        self.host.cpu.parallel(
+            count * self.per_op_seconds * self.rehash_factor, workers
+        )
+        if new_keys:
+            self.vm.malloc_objects(new_keys, self.per_entry_bytes, workers)
+        # Every operation probes a random bucket: faults against swap when
+        # the table has outgrown RAM.
+        self.vm.random_touch(count, self.per_entry_bytes, workers)
+
+    @property
+    def needed_bytes(self) -> int:
+        return self.num_keys * self.per_entry_bytes
+
+    def clear(self, workers: int = 1) -> None:
+        self.vm.free_all(self.num_keys, self.per_entry_bytes, workers)
+        self.num_keys = 0

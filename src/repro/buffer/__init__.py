@@ -1,0 +1,23 @@
+"""The unified buffer pool (paper Sec. 5).
+
+One buffer pool per node caches *all* data — user data, job data, shuffle
+data, and hash data — in a single arena.  Variable-sized pages are placed by
+a real two-level segregated fit (TLSF) allocator by default; a
+Memcached-style slab allocator is available as the alternative the paper
+mentions, and is also used as the secondary allocator inside hash-service
+pages.
+"""
+
+from repro.buffer.page import Page
+from repro.buffer.pool import BufferPool, BufferPoolFullError
+from repro.buffer.slab import SlabAllocator, SlabExhaustedError
+from repro.buffer.tlsf import TlsfAllocator
+
+__all__ = [
+    "Page",
+    "BufferPool",
+    "BufferPoolFullError",
+    "TlsfAllocator",
+    "SlabAllocator",
+    "SlabExhaustedError",
+]

@@ -1,0 +1,175 @@
+"""The per-node unified buffer pool."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.buffer.page import Page
+from repro.buffer.slab import SlabAllocator, SlabExhaustedError
+from repro.buffer.tlsf import TlsfAllocator
+
+
+class BufferPoolFullError(MemoryError):
+    """No space could be found or reclaimed for a page placement."""
+
+
+@dataclass
+class PoolStats:
+    """Counters the paging benchmarks report."""
+
+    placements: int = 0
+    releases: int = 0
+    evictions: int = 0
+    pageouts: int = 0
+    bytes_paged_out: int = 0
+    pageins: int = 0
+    bytes_paged_in: int = 0
+
+    def reset(self) -> None:
+        self.placements = 0
+        self.releases = 0
+        self.evictions = 0
+        self.pageouts = 0
+        self.bytes_paged_out = 0
+        self.pageins = 0
+        self.bytes_paged_in = 0
+
+
+class _SlabPoolAdapter:
+    """Adapt :class:`SlabAllocator` to the pool-allocator interface.
+
+    Used for the paper's allocator ablation (TLSF vs Memcached slab as the
+    pool allocator).  The slab allocator needs the size at free time, so the
+    adapter remembers it.
+    """
+
+    def __init__(self, capacity: int, max_page_size: int) -> None:
+        self._slab = SlabAllocator(
+            capacity, slab_size=max_page_size, chunk_min=4096, growth_factor=1.25
+        )
+        self._sizes: dict[int, int] = {}
+
+    @property
+    def capacity(self) -> int:
+        return self._slab.capacity
+
+    @property
+    def used_bytes(self) -> int:
+        return self._slab.used_bytes
+
+    def malloc(self, size: int) -> int | None:
+        try:
+            offset = self._slab.alloc(size)
+        except (SlabExhaustedError, ValueError):
+            return None
+        self._sizes[offset] = size
+        return offset
+
+    def free(self, offset: int) -> int:
+        size = self._sizes.pop(offset)
+        self._slab.free(offset, size)
+        return self._slab.chunk_size_for(size)
+
+
+class BufferPool:
+    """All RAM Pangea manages on one node, shared by every locality set.
+
+    ``evictor`` is a callable ``(needed_bytes) -> bool`` installed by the
+    paging system; it must evict at least one page (or return ``False`` when
+    nothing is evictable).  Placement retries until the allocator succeeds
+    or the evictor gives up.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        allocator: str = "tlsf",
+        max_page_size: int | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("buffer pool capacity must be positive")
+        self.capacity = capacity
+        if allocator == "tlsf":
+            self._alloc = TlsfAllocator(capacity)
+        elif allocator == "slab":
+            self._alloc = _SlabPoolAdapter(capacity, max_page_size or capacity // 8)
+        else:
+            raise ValueError(f"unknown pool allocator {allocator!r} (tlsf|slab)")
+        self.allocator_kind = allocator
+        self.pages: dict[int, Page] = {}
+        self.evictor: Callable[[int], bool] | None = None
+        self.stats = PoolStats()
+
+    # ------------------------------------------------------------------
+    # placement and release
+    # ------------------------------------------------------------------
+
+    def place(self, page: Page) -> None:
+        """Give ``page`` a memory location, evicting others if necessary."""
+        if page.in_memory:
+            raise ValueError(f"page {page.page_id} is already in memory")
+        while True:
+            offset = self._alloc.malloc(page.size)
+            if offset is not None:
+                page.offset = offset
+                self.pages[page.page_id] = page
+                self.stats.placements += 1
+                return
+            if self.evictor is None or not self.evictor(page.size):
+                raise BufferPoolFullError(
+                    f"cannot place a {page.size}-byte page: pool has "
+                    f"{self.free_bytes} free bytes and nothing evictable"
+                )
+
+    def release(self, page: Page) -> None:
+        """Drop ``page`` from memory (payload stays with the caller)."""
+        if not page.in_memory:
+            raise ValueError(f"page {page.page_id} is not in memory")
+        if page.pinned:
+            raise ValueError(f"page {page.page_id} is pinned and cannot be released")
+        self._alloc.free(page.offset)
+        page.offset = None
+        del self.pages[page.page_id]
+        self.stats.releases += 1
+
+    # ------------------------------------------------------------------
+    # pinning
+    # ------------------------------------------------------------------
+
+    def pin(self, page: Page) -> None:
+        """Pin an in-memory page (reference counted)."""
+        if not page.in_memory:
+            raise ValueError(
+                f"page {page.page_id} must be placed in memory before pinning"
+            )
+        page.pin_count += 1
+
+    def unpin(self, page: Page) -> None:
+        if page.pin_count <= 0:
+            raise ValueError(f"page {page.page_id} is not pinned")
+        page.pin_count -= 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._alloc.used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self._alloc.used_bytes
+
+    def resident_pages(self) -> Iterable[Page]:
+        return self.pages.values()
+
+    def __contains__(self, page: Page) -> bool:
+        return page.page_id in self.pages
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BufferPool(capacity={self.capacity}, used={self.used_bytes}, "
+            f"pages={len(self.pages)})"
+        )

@@ -1,0 +1,15 @@
+"""The distributed layer: worker nodes, the manager, and the cluster façade."""
+
+from repro.cluster.auth import AuthError, KeyPair
+from repro.cluster.cluster import PangeaCluster
+from repro.cluster.manager import Manager, SetStatistics
+from repro.cluster.node import WorkerNode
+
+__all__ = [
+    "PangeaCluster",
+    "WorkerNode",
+    "Manager",
+    "SetStatistics",
+    "KeyPair",
+    "AuthError",
+]

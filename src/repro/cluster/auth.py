@@ -1,0 +1,53 @@
+"""Bootstrap authentication (paper Sec. 3.3, deployment & security).
+
+Pangea delegates authority to remote worker processes through a public/
+private key pair: the user submits the private key when bootstrapping, the
+manager uses it to access workers, and a non-valid key terminates the whole
+system.  We model the handshake with an HMAC-style challenge so the control
+flow (valid key → cluster boots; invalid key → hard failure) is faithful
+without shipping a real crypto deployment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+from dataclasses import dataclass
+
+
+class AuthError(RuntimeError):
+    """Raised when bootstrap is attempted with an invalid private key."""
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A user's deployment credentials."""
+
+    public_key: str
+    private_key: str
+
+    @classmethod
+    def generate(cls) -> "KeyPair":
+        private = secrets.token_hex(32)
+        public = hashlib.sha256(private.encode("ascii")).hexdigest()
+        return cls(public_key=public, private_key=private)
+
+    def matches(self, private_key: str) -> bool:
+        derived = hashlib.sha256(private_key.encode("ascii")).hexdigest()
+        return hmac.compare_digest(derived, self.public_key)
+
+
+def verify_bootstrap(authorized: KeyPair | None, private_key: str | None) -> None:
+    """Validate a bootstrap attempt; raise :class:`AuthError` on mismatch.
+
+    When no key pair is configured the cluster runs in open (test) mode,
+    mirroring a deployment without the security feature enabled.
+    """
+    if authorized is None:
+        return
+    if private_key is None or not authorized.matches(private_key):
+        raise AuthError(
+            "bootstrap rejected: the submitted private key does not match the "
+            "deployment's public key; terminating"
+        )

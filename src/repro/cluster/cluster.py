@@ -1,0 +1,150 @@
+"""The cluster façade applications program against."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cluster.auth import KeyPair, verify_bootstrap
+from repro.cluster.manager import Manager
+from repro.cluster.node import WorkerNode
+from repro.core.attributes import DurabilityType, LocalitySetAttributes
+from repro.core.locality_set import LocalitySet
+from repro.sim.devices import MB
+from repro.sim.profiles import MachineProfile
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.services.hashsvc import VirtualHashBuffer
+
+DEFAULT_PAGE_SIZE = 256 * MB
+
+
+class PangeaCluster:
+    """One manager plus ``num_nodes`` workers.
+
+    This is the public entry point: create locality sets, access them
+    through the services, and read the simulated elapsed time with
+    :meth:`simulated_seconds`.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 1,
+        profile: MachineProfile | None = None,
+        policy: str = "data-aware",
+        pool_allocator: str = "tlsf",
+        authorized_key: KeyPair | None = None,
+        private_key: str | None = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("a cluster needs at least one worker node")
+        verify_bootstrap(authorized_key, private_key)
+        self.profile = profile or MachineProfile.r4_2xlarge()
+        self.manager = Manager()
+        self.nodes = [
+            WorkerNode(i, self.profile, policy=policy, pool_allocator=pool_allocator)
+            for i in range(num_nodes)
+        ]
+
+    # ------------------------------------------------------------------
+    # set management
+    # ------------------------------------------------------------------
+
+    def create_set(
+        self,
+        name: str,
+        durability: "DurabilityType | str" = DurabilityType.WRITE_THROUGH,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        nodes: "list[int] | None" = None,
+        object_bytes: int = 100,
+        **attribute_overrides,
+    ) -> LocalitySet:
+        """Create a locality set sharded over ``nodes`` (default: all).
+
+        ``durability`` follows the paper's default: write-through unless
+        ``"write-back"`` is requested for transient data.  ``object_bytes``
+        is the logical size charged per record unless a writer overrides it.
+        """
+        attributes = LocalitySetAttributes(
+            durability=DurabilityType.parse(durability), **attribute_overrides
+        )
+        dataset = LocalitySet(
+            set_id=self.manager.next_set_id(),
+            name=name,
+            cluster=self,
+            page_size=page_size,
+            attributes=attributes,
+            object_bytes=object_bytes,
+        )
+        self.manager.register_set(dataset)
+        target_nodes = self.nodes if nodes is None else [self.nodes[i] for i in nodes]
+        for node in target_nodes:
+            shard = dataset.add_shard(node)
+            node.fs.create_file(name)
+            node.paging.register_shard(shard)
+        return dataset
+
+    def get_set(self, name: str) -> LocalitySet:
+        return self.manager.get_set(name)
+
+    def drop_set(self, name: str) -> None:
+        """Remove a set: pages, disk images, paging registration, catalog."""
+        dataset = self.manager.get_set(name)
+        for shard in dataset.shards.values():
+            shard.clear()
+            shard.node.paging.unregister_shard(shard)
+            shard.node.fs.drop_file(name)
+        self.manager.drop_set(name)
+
+    def create_virtual_hash_buffer(
+        self, output_set: LocalitySet, num_root_partitions: int = 16
+    ) -> "VirtualHashBuffer":
+        """Attach the hash service to ``output_set`` (paper Sec. 8)."""
+        from repro.services.hashsvc import VirtualHashBuffer
+
+        return VirtualHashBuffer(output_set, num_root_partitions)
+
+    # ------------------------------------------------------------------
+    # time and synchronization
+    # ------------------------------------------------------------------
+
+    def barrier(self) -> float:
+        """Synchronize all node clocks to the max (stage boundary)."""
+        latest = max(node.clock.now for node in self.nodes)
+        for node in self.nodes:
+            node.clock.advance_to(latest)
+        return latest
+
+    def simulated_seconds(self) -> float:
+        return max(node.clock.now for node in self.nodes)
+
+    def reset_clocks(self) -> None:
+        for node in self.nodes:
+            node.clock.reset()
+            node.reset_stats()
+
+    # ------------------------------------------------------------------
+    # policies and introspection
+    # ------------------------------------------------------------------
+
+    def set_policy(self, policy: str) -> None:
+        for node in self.nodes:
+            node.paging.set_policy(policy)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def alive_nodes(self) -> list[WorkerNode]:
+        return [n for n in self.nodes if not n.failed]
+
+    def total_pool_bytes_used(self) -> int:
+        return sum(node.pool.used_bytes for node in self.nodes)
+
+    def total_bytes_on_disk(self) -> int:
+        return sum(node.fs.bytes_on_disk for node in self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PangeaCluster(nodes={self.num_nodes}, profile={self.profile.name}, "
+            f"sets={len(self.manager.set_names())})"
+        )

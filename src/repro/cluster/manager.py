@@ -1,0 +1,116 @@
+"""The Pangea manager node: catalog and statistics database.
+
+The manager is deliberately light-weight (paper Sec. 4): it stores locality
+set metadata — database/set names, page sizes, attributes, partition
+schemes, replica groups — while per-page metadata lives in the meta files
+on each worker.  The statistics service exposed here is what the query
+scheduler consults to pick a well-partitioned replica (paper Sec. 9.1.2).
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.core.locality_set import LocalitySet
+    from repro.placement.replication import ReplicationGroup
+
+
+@dataclass
+class SetStatistics:
+    """Statistics-database entry for one locality set."""
+
+    name: str
+    num_objects: int = 0
+    logical_bytes: int = 0
+    partition_scheme: "object | None" = None
+    replica_group_id: int | None = None
+    extra: dict = field(default_factory=dict)
+
+
+class Manager:
+    """Catalog + statistics database + replica registry."""
+
+    def __init__(self) -> None:
+        self._sets: dict[str, "LocalitySet"] = {}
+        self._set_counter = 0
+        self._groups: dict[int, "ReplicationGroup"] = {}
+        self._group_counter = 0
+        self._stats: dict[str, SetStatistics] = {}
+
+    # ------------------------------------------------------------------
+    # catalog
+    # ------------------------------------------------------------------
+
+    def next_set_id(self) -> int:
+        self._set_counter += 1
+        return self._set_counter
+
+    def register_set(self, dataset: "LocalitySet") -> None:
+        if dataset.name in self._sets:
+            raise ValueError(f"a set named {dataset.name!r} already exists")
+        self._sets[dataset.name] = dataset
+        self._stats[dataset.name] = SetStatistics(name=dataset.name)
+
+    def get_set(self, name: str) -> "LocalitySet":
+        try:
+            return self._sets[name]
+        except KeyError:
+            raise KeyError(f"no set named {name!r}") from None
+
+    def drop_set(self, name: str) -> None:
+        self._sets.pop(name, None)
+        self._stats.pop(name, None)
+
+    def has_set(self, name: str) -> bool:
+        return name in self._sets
+
+    def set_names(self) -> list[str]:
+        return sorted(self._sets)
+
+    # ------------------------------------------------------------------
+    # replication groups
+    # ------------------------------------------------------------------
+
+    def register_replica_group(self, group: "ReplicationGroup") -> int:
+        self._group_counter += 1
+        group_id = self._group_counter
+        self._groups[group_id] = group
+        for member in group.members:
+            member.replica_group_id = group_id
+            stats = self._stats.get(member.name)
+            if stats is not None:
+                stats.replica_group_id = group_id
+        return group_id
+
+    def replica_group(self, group_id: int) -> "ReplicationGroup":
+        try:
+            return self._groups[group_id]
+        except KeyError:
+            raise KeyError(f"no replication group {group_id}") from None
+
+    def replicas_of(self, name: str) -> "list[LocalitySet]":
+        """All members of the set's replication group (including itself)."""
+        dataset = self.get_set(name)
+        if dataset.replica_group_id is None:
+            return [dataset]
+        return list(self._groups[dataset.replica_group_id].members)
+
+    # ------------------------------------------------------------------
+    # statistics service
+    # ------------------------------------------------------------------
+
+    def update_statistics(self, dataset: "LocalitySet") -> SetStatistics:
+        stats = self._stats.setdefault(dataset.name, SetStatistics(name=dataset.name))
+        stats.num_objects = dataset.num_objects
+        stats.logical_bytes = dataset.logical_bytes
+        stats.partition_scheme = dataset.partition_scheme
+        stats.replica_group_id = dataset.replica_group_id
+        return stats
+
+    def statistics(self, name: str) -> SetStatistics:
+        try:
+            return self._stats[name]
+        except KeyError:
+            raise KeyError(f"no statistics for set {name!r}") from None

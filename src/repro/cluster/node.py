@@ -1,0 +1,72 @@
+"""One Pangea worker node."""
+
+from __future__ import annotations
+
+from repro.buffer.pool import BufferPool
+from repro.core.paging import PagingSystem
+from repro.fs.node_fs import PangeaNodeFS
+from repro.sim.clock import SimClock
+from repro.sim.devices import DiskArray
+from repro.sim.profiles import MachineProfile
+
+
+class WorkerNode:
+    """A worker: clock, CPU, disks, network, buffer pool, paging, and FS.
+
+    On real hardware this is one storage process (owning the shared-memory
+    buffer pool) plus forked computation processes; here the node bundles
+    the simulated devices and charges every operation to its own clock.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        profile: MachineProfile,
+        policy: str = "data-aware",
+        pool_allocator: str = "tlsf",
+    ) -> None:
+        self.node_id = node_id
+        self.profile = profile
+        self.clock = SimClock()
+        self.cpu = profile.build_cpu()
+        self.cpu.clock = self.clock
+        disks = profile.build_disks(node_id)
+        for disk in disks:
+            disk.clock = self.clock
+        self.disks = DiskArray(disks)
+        self.network = profile.build_network()
+        self.network.clock = self.clock
+        self.pool = BufferPool(profile.pool_bytes, allocator=pool_allocator)
+        self.paging = PagingSystem(policy)
+        self.pool.evictor = self.paging.make_room
+        self.fs = PangeaNodeFS(self.disks)
+        self._page_counter = 0
+        self.failed = False
+
+    def next_page_id(self) -> int:
+        """Node-local page ids; globally unique as (node_id, page_id)."""
+        self._page_counter += 1
+        return self._page_counter
+
+    def fail(self) -> None:
+        """Simulate a node crash (used by the recovery benchmarks)."""
+        self.failed = True
+
+    def recover_process(self) -> None:
+        self.failed = False
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def reset_stats(self) -> None:
+        self.pool.stats.reset()
+        self.paging.stats.reset()
+        self.disks.reset_stats()
+        self.network.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkerNode(id={self.node_id}, profile={self.profile.name}, "
+            f"policy={self.paging.policy.name})"
+        )

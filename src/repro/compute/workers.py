@@ -1,0 +1,145 @@
+"""Long-living workers vs waves of tasks (paper Sec. 5).
+
+:class:`WorkerPool` is Pangea's model: a job stage starts N workers per
+node which live until all input pages are processed, each pulling pages
+from the data proxy's circular buffer in a loop.  There is no per-block
+scheduling and no "all-or-nothing" cache-locality concern.
+
+:class:`WavesOfTasks` is the Spark/Hadoop model the paper contrasts: one
+task per data block, scheduled by a driver wave by wave, paying a fixed
+scheduling cost per task.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.compute.proxy import DataProxy
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.cluster.cluster import PangeaCluster
+    from repro.core.locality_set import LocalitySet
+
+
+@dataclass
+class StageResult:
+    """Output of one job stage."""
+
+    per_node: dict = field(default_factory=dict)
+    pages_processed: int = 0
+    seconds: float = 0.0
+    tasks_scheduled: int = 0
+
+    def all_results(self) -> list:
+        merged: list = []
+        for node_id in sorted(self.per_node):
+            merged.extend(self.per_node[node_id])
+        return merged
+
+
+class WorkerPool:
+    """Pangea's threading model: long-living workers pulling pages."""
+
+    def __init__(self, cluster: "PangeaCluster", workers_per_node: int = 8,
+                 buffer_capacity: int = 16) -> None:
+        if workers_per_node < 1:
+            raise ValueError("need at least one worker per node")
+        self.cluster = cluster
+        self.workers_per_node = workers_per_node
+        self.buffer_capacity = buffer_capacity
+
+    def run_stage(
+        self,
+        dataset: "LocalitySet",
+        page_fn: "typing.Callable[[object], object]",
+        seconds_per_object: float = 0.0,
+    ) -> StageResult:
+        """Apply ``page_fn`` to every page of ``dataset``.
+
+        Workers on each node share one proxy; per-object compute time is
+        divided across the workers (they run concurrently on the cores).
+        """
+        start = self.cluster.barrier()
+        result = StageResult()
+        for node_id in sorted(dataset.shards):
+            shard = dataset.shards[node_id]
+            node = shard.node
+            proxy = DataProxy(shard, buffer_capacity=self.buffer_capacity)
+            outputs: list = []
+            try:
+                while True:
+                    page = proxy.next_page()
+                    if page is None:
+                        break
+                    outputs.append(page_fn(page))
+                    node.cpu.per_object(
+                        page.num_objects, workers=self.workers_per_node
+                    )
+                    if seconds_per_object:
+                        node.cpu.parallel(
+                            page.num_objects * seconds_per_object,
+                            self.workers_per_node,
+                        )
+                    proxy.release_page(page)
+                    result.pages_processed += 1
+            finally:
+                proxy.close()
+            result.per_node[node_id] = outputs
+        result.seconds = self.cluster.barrier() - start
+        return result
+
+
+class WavesOfTasks:
+    """The layered engines' model: one scheduled task per page.
+
+    The driver dispatches tasks in waves of ``cores`` per node; every
+    task pays ``task_overhead`` of driver/scheduler time (serialization
+    of the closure, scheduling decision, launch) before doing the same
+    work a Pangea worker would.
+    """
+
+    def __init__(
+        self,
+        cluster: "PangeaCluster",
+        cores_per_node: int = 8,
+        task_overhead: float = 2e-3,
+    ) -> None:
+        self.cluster = cluster
+        self.cores_per_node = cores_per_node
+        self.task_overhead = task_overhead
+
+    def run_stage(
+        self,
+        dataset: "LocalitySet",
+        page_fn: "typing.Callable[[object], object]",
+        seconds_per_object: float = 0.0,
+    ) -> StageResult:
+        start = self.cluster.barrier()
+        result = StageResult()
+        driver = self.cluster.nodes[0]
+        for node_id in sorted(dataset.shards):
+            shard = dataset.shards[node_id]
+            node = shard.node
+            outputs: list = []
+            for page in list(shard.pages):
+                # The driver schedules one task for this block.
+                driver.clock.advance(self.task_overhead)
+                result.tasks_scheduled += 1
+                shard.pin_page(page)
+                try:
+                    outputs.append(page_fn(page))
+                    node.cpu.per_object(
+                        page.num_objects, workers=self.cores_per_node
+                    )
+                    if seconds_per_object:
+                        node.cpu.parallel(
+                            page.num_objects * seconds_per_object,
+                            self.cores_per_node,
+                        )
+                finally:
+                    shard.unpin_page(page)
+                result.pages_processed += 1
+            result.per_node[node_id] = outputs
+        result.seconds = self.cluster.barrier() - start
+        return result

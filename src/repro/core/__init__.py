@@ -1,0 +1,45 @@
+"""The paper's primary contribution: locality sets and data-aware paging.
+
+A *locality set* (paper Sec. 3.2, redefined from DBMIN) is a set of
+same-sized pages holding one dataset, tagged with attributes that describe
+its durability requirement, writing/reading patterns, lifetime, current
+operation, and access recency.  The paging system (paper Sec. 6) uses those
+attributes to pick eviction victims by expected cost.
+"""
+
+from repro.core.attributes import (
+    CurrentOperation,
+    DurabilityType,
+    LocalitySetAttributes,
+    Location,
+    ReadingPattern,
+    WritingPattern,
+)
+from repro.core.locality_set import LocalitySet, LocalShard
+from repro.core.paging import PagingSystem
+from repro.core.policies import (
+    DataAwarePolicy,
+    DbminBlockedError,
+    DbminPolicy,
+    GlobalLruPolicy,
+    GlobalMruPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "DurabilityType",
+    "WritingPattern",
+    "ReadingPattern",
+    "Location",
+    "CurrentOperation",
+    "LocalitySetAttributes",
+    "LocalitySet",
+    "LocalShard",
+    "PagingSystem",
+    "DataAwarePolicy",
+    "GlobalLruPolicy",
+    "GlobalMruPolicy",
+    "DbminPolicy",
+    "DbminBlockedError",
+    "make_policy",
+]

@@ -1,0 +1,112 @@
+"""Locality-set attributes (paper Table 1).
+
+Attributes such as ``WritingPattern``, ``ReadingPattern`` and
+``CurrentOperation`` are not supplied by applications: they are inferred at
+runtime from the service used to access the set (paper Sec. 3.2) — the
+sequential write service implies ``SEQUENTIAL_WRITE`` + ``WRITE``, the
+shuffle service implies ``CONCURRENT_WRITE``, the hash service implies
+``RANDOM_MUTABLE_WRITE`` + ``RANDOM_READ``, and so on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class DurabilityType(enum.Enum):
+    """Whether pages persist at write time or only on eviction."""
+
+    WRITE_BACK = "write-back"
+    WRITE_THROUGH = "write-through"
+
+    @classmethod
+    def parse(cls, value: "DurabilityType | str") -> "DurabilityType":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown durability {value!r}; expected 'write-back' or "
+                f"'write-through'"
+            ) from None
+
+
+class WritingPattern(enum.Enum):
+    SEQUENTIAL_WRITE = "sequential-write"
+    CONCURRENT_WRITE = "concurrent-write"
+    RANDOM_MUTABLE_WRITE = "random-mutable-write"
+
+
+class ReadingPattern(enum.Enum):
+    SEQUENTIAL_READ = "sequential-read"
+    RANDOM_READ = "random-read"
+
+
+class Location(enum.Enum):
+    PINNED = "pinned"
+    UNPINNED = "unpinned"
+
+
+class CurrentOperation(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    READ_AND_WRITE = "read-and-write"
+    NONE = "none"
+
+
+@dataclass
+class LocalitySetAttributes:
+    """The live attribute tags of one locality set.
+
+    ``access_recency`` is the sequence id (paging tick) of the set's most
+    recent page access; per-page recency lives on the pages themselves.
+    """
+
+    durability: DurabilityType = DurabilityType.WRITE_THROUGH
+    writing_pattern: WritingPattern | None = None
+    reading_pattern: ReadingPattern | None = None
+    location: Location = Location.UNPINNED
+    lifetime_ended: bool = False
+    current_operation: CurrentOperation = CurrentOperation.NONE
+    access_recency: int = 0
+    # The paper's wr term: penalty multiplier for re-reading spilled data
+    # with a random reading pattern (hash maps must be rebuilt).
+    random_reread_penalty: float = field(default=3.0)
+
+    @property
+    def alive(self) -> bool:
+        return not self.lifetime_ended
+
+    def note_write_service(self, pattern: WritingPattern) -> None:
+        """Record that a write-side service was attached to the set."""
+        self.writing_pattern = pattern
+        if self.current_operation is CurrentOperation.READ:
+            self.current_operation = CurrentOperation.READ_AND_WRITE
+        elif self.current_operation is not CurrentOperation.READ_AND_WRITE:
+            self.current_operation = CurrentOperation.WRITE
+
+    def note_read_service(self, pattern: ReadingPattern) -> None:
+        """Record that a read-side service was attached to the set."""
+        self.reading_pattern = pattern
+        if self.current_operation is CurrentOperation.WRITE:
+            self.current_operation = CurrentOperation.READ_AND_WRITE
+        elif self.current_operation is not CurrentOperation.READ_AND_WRITE:
+            self.current_operation = CurrentOperation.READ
+
+    def note_service_detached(self, remaining_readers: int, remaining_writers: int) -> None:
+        """Downgrade ``current_operation`` as services release the set."""
+        if remaining_readers > 0 and remaining_writers > 0:
+            self.current_operation = CurrentOperation.READ_AND_WRITE
+        elif remaining_readers > 0:
+            self.current_operation = CurrentOperation.READ
+        elif remaining_writers > 0:
+            self.current_operation = CurrentOperation.WRITE
+        else:
+            self.current_operation = CurrentOperation.NONE
+
+    def end_lifetime(self) -> None:
+        """Mark the data dead: the paging system will evict it first."""
+        self.lifetime_ended = True
+        self.current_operation = CurrentOperation.NONE

@@ -1,0 +1,315 @@
+"""Locality sets and their per-node shards (paper Sec. 3.2).
+
+A :class:`LocalitySet` is the distributed handle an application sees: a set
+of same-sized pages holding one dataset, spread across the cluster, tagged
+with one shared :class:`~repro.core.attributes.LocalitySetAttributes`.
+
+A :class:`LocalShard` is the node-local portion: the pages resident on one
+worker, their buffer-pool placement, and their on-disk images.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.buffer.page import Page
+from repro.core.attributes import (
+    CurrentOperation,
+    DurabilityType,
+    LocalitySetAttributes,
+    ReadingPattern,
+    WritingPattern,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.cluster.node import WorkerNode
+    from repro.services.sequential import PageIterator
+
+
+class LocalShard:
+    """The pages of one locality set on one worker node."""
+
+    def __init__(self, dataset: "LocalitySet", node: "WorkerNode") -> None:
+        self.dataset = dataset
+        self.node = node
+        self.pages: list[Page] = []
+        self._by_id: dict[int, Page] = {}
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def attributes(self) -> LocalitySetAttributes:
+        return self.dataset.attributes
+
+    @property
+    def page_size(self) -> int:
+        return self.dataset.page_size
+
+    @property
+    def file(self):
+        return self.node.fs.get_file(self.dataset.name)
+
+    @property
+    def pool(self):
+        return self.node.pool
+
+    @property
+    def paging(self):
+        return self.node.paging
+
+    # ------------------------------------------------------------------
+    # page lifecycle
+    # ------------------------------------------------------------------
+
+    def new_page(self, pin: bool = True) -> Page:
+        """Allocate and place a fresh page of the set's page size."""
+        page = Page(self.node.next_page_id(), self.page_size, shard=self)
+        page.created_tick = self.paging.tick()
+        page.last_access_tick = page.created_tick
+        self.paging.note_access(page)
+        self.pool.place(page)
+        if pin:
+            self.pool.pin(page)
+        self.pages.append(page)
+        self._by_id[page.page_id] = page
+        self.attributes.access_recency = page.last_access_tick
+        return page
+
+    def seal_page(self, page: Page) -> None:
+        """Finish writing a page; write-through sets persist it immediately."""
+        page.seal()
+        if self.attributes.durability is DurabilityType.WRITE_THROUGH:
+            self.file.write_page(page.page_id, page.records, page.size)
+            page.on_disk = True
+            page.dirty = False
+
+    def touch(self, page: Page) -> None:
+        """Record a page access for the recency model."""
+        page.last_access_tick = self.paging.tick()
+        self.attributes.access_recency = page.last_access_tick
+        self.paging.note_access(page)
+
+    def pin_page(self, page: Page) -> Page:
+        """Pin a page, reloading it from disk if it was evicted."""
+        if not page.in_memory:
+            if not page.on_disk:
+                raise ValueError(
+                    f"page {page.page_id} of set {self.dataset.name!r} is "
+                    f"neither in memory nor on disk"
+                )
+            records, _cost = self.file.read_page(page.page_id)
+            self.pool.place(page)
+            page.records = records
+            page.dirty = False
+            self.pool.stats.pageins += 1
+            self.pool.stats.bytes_paged_in += page.size
+            # Re-reading spilled random-access data pays a reconstruction
+            # penalty (the paper's wr > 1): rebuild costs CPU time.
+            if self.attributes.reading_pattern is ReadingPattern.RANDOM_READ:
+                extra = self.attributes.random_reread_penalty - 1.0
+                if extra > 0:
+                    self.node.cpu.compute(
+                        extra * page.size / self.node.disks.disks[0].read_bandwidth
+                    )
+        self.pool.pin(page)
+        self.touch(page)
+        return page
+
+    def unpin_page(self, page: Page) -> None:
+        self.pool.unpin(page)
+
+    def evict_page(self, page: Page) -> int:
+        """Evict one unpinned page; returns the bytes freed.
+
+        Dirty pages of live write-back sets are flushed to the set's file
+        first (the paper's ``cw`` term becomes real I/O here); pages of
+        dead sets or already-persisted pages are simply dropped.
+        """
+        if page.pinned:
+            raise ValueError(f"cannot evict pinned page {page.page_id}")
+        if not page.in_memory:
+            raise ValueError(f"page {page.page_id} is not in memory")
+        must_flush = (
+            page.dirty
+            and self.attributes.alive
+            and not page.on_disk
+        )
+        if must_flush:
+            self.file.write_page(page.page_id, page.records, page.size)
+            page.on_disk = True
+            page.dirty = False
+            self.pool.stats.pageouts += 1
+            self.pool.stats.bytes_paged_out += page.size
+        freed = page.size
+        self.pool.release(page)
+        page.records = []
+        self.pool.stats.evictions += 1
+        return freed
+
+    def drop_page(self, page: Page) -> None:
+        """Remove a page from the shard entirely (set deletion/truncation)."""
+        if page.in_memory:
+            if page.pinned:
+                raise ValueError(f"cannot drop pinned page {page.page_id}")
+            self.pool.release(page)
+        self.file.drop_page(page.page_id)
+        self.pages.remove(page)
+        del self._by_id[page.page_id]
+
+    def clear(self) -> None:
+        """Drop every page.  Data organized in large blocks deallocates in
+        one shot — the cheap bulk-delete the paper measures in Fig. 7."""
+        for page in list(self.pages):
+            self.drop_page(page)
+
+    # ------------------------------------------------------------------
+    # views used by the paging policies
+    # ------------------------------------------------------------------
+
+    def resident_unpinned_pages(self) -> list[Page]:
+        return [p for p in self.pages if p.in_memory and not p.pinned]
+
+    def resident_pages(self) -> list[Page]:
+        return [p for p in self.pages if p.in_memory]
+
+    @property
+    def num_objects(self) -> int:
+        return sum(p.num_objects for p in self.pages)
+
+    @property
+    def logical_bytes(self) -> int:
+        return sum(p.used_bytes for p in self.pages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LocalShard(set={self.dataset.name!r}, node={self.node.node_id}, "
+            f"pages={len(self.pages)})"
+        )
+
+
+class LocalitySet:
+    """The distributed handle for one dataset stored in Pangea."""
+
+    def __init__(
+        self,
+        set_id: int,
+        name: str,
+        cluster: "object",
+        page_size: int,
+        attributes: LocalitySetAttributes,
+        object_bytes: int = 100,
+    ) -> None:
+        self.set_id = set_id
+        self.name = name
+        self.cluster = cluster
+        self.page_size = page_size
+        self.attributes = attributes
+        #: Default logical size of one record; writers may override per call.
+        self.object_bytes = object_bytes
+        #: Live service attachments, used to infer CurrentOperation.
+        self.active_readers = 0
+        self.active_writers = 0
+        self.shards: dict[int, LocalShard] = {}
+        # Populated by the placement layer when this set is a registered
+        # replica produced by a partition computation.
+        self.partition_scheme: "object | None" = None
+        self.partitioner: "object | None" = None
+        self.replica_group_id: int | None = None
+        self._dispatch_cursor = 0
+
+    # ------------------------------------------------------------------
+    # shard management
+    # ------------------------------------------------------------------
+
+    def add_shard(self, node: "WorkerNode") -> LocalShard:
+        shard = LocalShard(self, node)
+        self.shards[node.node_id] = shard
+        return shard
+
+    def shard_on(self, node_id: int) -> LocalShard:
+        try:
+            return self.shards[node_id]
+        except KeyError:
+            raise KeyError(
+                f"set {self.name!r} has no shard on node {node_id}"
+            ) from None
+
+    def next_dispatch_shard(self) -> LocalShard:
+        """Round-robin dispatch target for randomly dispatched sets."""
+        node_ids = sorted(self.shards)
+        node_id = node_ids[self._dispatch_cursor % len(node_ids)]
+        self._dispatch_cursor += 1
+        return self.shards[node_id]
+
+    # ------------------------------------------------------------------
+    # service entry points (paper Sec. 3.2 code examples)
+    # ------------------------------------------------------------------
+
+    def add_object(self, record: object, nbytes: int | None = None) -> None:
+        """Sequential-write a single object (dispatched round-robin)."""
+        from repro.services.sequential import SequentialWriter
+
+        shard = self.next_dispatch_shard()
+        with SequentialWriter(shard) as writer:
+            writer.add_object(record, nbytes)
+
+    def add_data(self, records: list, nbytes_each: int | None = None) -> None:
+        """Sequential-write a batch, spread round-robin across nodes."""
+        from repro.services.sequential import SequentialWriter
+
+        if not records:
+            return
+        node_ids = sorted(self.shards)
+        num = len(node_ids)
+        for index, node_id in enumerate(node_ids):
+            chunk = records[index::num]
+            if not chunk:
+                continue
+            with SequentialWriter(self.shards[node_id]) as writer:
+                writer.add_data(chunk, nbytes_each)
+
+    def get_page_iterators(self, num_threads: int = 1) -> "list[PageIterator]":
+        """Concurrent page iterators covering every shard (paper Sec. 8)."""
+        from repro.services.sequential import make_page_iterators
+
+        return make_page_iterators(self, num_threads)
+
+    def scan_records(self, workers: int = 1):
+        """Convenience full scan yielding every record in the set."""
+        for iterator in self.get_page_iterators(workers):
+            for page in iterator:
+                yield from page.records
+
+    def end_lifetime(self) -> None:
+        self.attributes.end_lifetime()
+
+    def note_operation_done(self) -> None:
+        """Reset CurrentOperation after a job stage finishes with the set."""
+        self.attributes.current_operation = CurrentOperation.NONE
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_objects(self) -> int:
+        return sum(s.num_objects for s in self.shards.values())
+
+    @property
+    def logical_bytes(self) -> int:
+        return sum(s.logical_bytes for s in self.shards.values())
+
+    @property
+    def num_pages(self) -> int:
+        return sum(len(s.pages) for s in self.shards.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LocalitySet({self.name!r}, pages={self.num_pages}, "
+            f"objects={self.num_objects})"
+        )
+
+
+__all__ = ["LocalitySet", "LocalShard", "WritingPattern"]

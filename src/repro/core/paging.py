@@ -1,0 +1,145 @@
+"""The paging system (paper Sec. 6)."""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.policies import PagingPolicy, make_policy
+from repro.sim.clock import TickCounter
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.locality_set import LocalShard
+
+
+@dataclass
+class PagingStats:
+    """Victim-selection counters for the paging benchmarks."""
+
+    eviction_rounds: int = 0
+    pages_evicted: int = 0
+
+    def reset(self) -> None:
+        self.eviction_rounds = 0
+        self.pages_evicted = 0
+
+
+@dataclass(frozen=True)
+class EvictionEvent:
+    """One traced eviction, for debugging and policy tests."""
+
+    tick: int
+    set_name: str
+    page_id: int
+    was_dirty: bool
+    flushed: bool
+    policy: str
+
+
+class PagingSystem:
+    """Per-node victim selection driven by a pluggable policy.
+
+    The buffer pool calls :meth:`make_room` when a pin request finds no
+    free space; the policy picks a victim locality set and a batch of its
+    pages, and this class performs the evictions (flushing dirty write-back
+    pages through the set's file).
+    """
+
+    def __init__(
+        self,
+        policy: "PagingPolicy | str" = "data-aware",
+        trace_capacity: int = 0,
+    ) -> None:
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        self.policy = policy
+        self._ticks = TickCounter()
+        self._shards: list[LocalShard] = []
+        self.stats = PagingStats()
+        #: Bounded eviction trace; enable with enable_trace() or a
+        #: positive trace_capacity.
+        self.trace: "deque[EvictionEvent] | None" = (
+            deque(maxlen=trace_capacity) if trace_capacity > 0 else None
+        )
+
+    def enable_trace(self, capacity: int = 1024) -> None:
+        """Start recording eviction events (bounded ring)."""
+        self.trace = deque(maxlen=capacity)
+
+    def disable_trace(self) -> None:
+        self.trace = None
+
+    # ------------------------------------------------------------------
+    # registration and ticking
+    # ------------------------------------------------------------------
+
+    def register_shard(self, shard: "LocalShard") -> None:
+        self._shards.append(shard)
+
+    def unregister_shard(self, shard: "LocalShard") -> None:
+        if shard in self._shards:
+            self._shards.remove(shard)
+
+    @property
+    def shards(self) -> "list[LocalShard]":
+        return list(self._shards)
+
+    def tick(self) -> int:
+        """Advance the access-sequence counter (one buffer-pool access)."""
+        return self._ticks.next()
+
+    def note_access(self, page) -> None:
+        """Forward a page access to policies that track history (LRU-K,
+        GreedyDual); the default policies only need last_access_tick."""
+        on_access = getattr(self.policy, "on_access", None)
+        if on_access is not None:
+            on_access(page, self._ticks.now)
+
+    @property
+    def current_tick(self) -> int:
+        return self._ticks.now
+
+    # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
+
+    def make_room(self, needed_bytes: int) -> bool:
+        """Evict at least one page; ``False`` when nothing is evictable.
+
+        Installed as the buffer pool's evictor.  The pool retries its
+        allocation after every successful round, so a single round only
+        needs to make progress, not to free ``needed_bytes`` exactly.
+        """
+        victims = self.policy.select_victims(self._shards, needed_bytes)
+        if not victims:
+            return False
+        self.stats.eviction_rounds += 1
+        for page in victims:
+            if page.shard is None:  # pragma: no cover - defensive
+                continue
+            if not page.in_memory or page.pinned:
+                continue
+            was_dirty = page.dirty
+            page.shard.evict_page(page)
+            self.stats.pages_evicted += 1
+            if self.trace is not None:
+                self.trace.append(
+                    EvictionEvent(
+                        tick=self._ticks.now,
+                        set_name=page.shard.dataset.name,
+                        page_id=page.page_id,
+                        was_dirty=was_dirty,
+                        flushed=page.on_disk and was_dirty,
+                        policy=self.policy.name,
+                    )
+                )
+        return True
+
+    def set_policy(self, policy: "PagingPolicy | str") -> None:
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        self.policy = policy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PagingSystem(policy={self.policy.name}, shards={len(self._shards)})"

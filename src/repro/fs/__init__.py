@@ -1,0 +1,13 @@
+"""Pangea's user-level distributed file system (paper Sec. 4).
+
+Each worker node runs a user-level file system that buffers all reads and
+writes through the node's unified buffer pool and talks to the disks with
+direct I/O (no OS page cache).  A distributed file instance is one Pangea
+data file plus one meta file per node; the data file's pages can be spread
+over multiple disk drives.
+"""
+
+from repro.fs.node_fs import PangeaNodeFS
+from repro.fs.page_file import PageLocation, SetFile
+
+__all__ = ["PangeaNodeFS", "SetFile", "PageLocation"]

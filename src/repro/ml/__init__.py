@@ -1,0 +1,5 @@
+"""Machine-learning workloads built on Pangea (the paper's k-means)."""
+
+from repro.ml.kmeans import KMeansResult, PangeaKMeans, generate_points
+
+__all__ = ["PangeaKMeans", "KMeansResult", "generate_points"]

@@ -1,0 +1,47 @@
+"""Data placement: partitioning, heterogeneous replication, and recovery
+(paper Sec. 7).
+
+Replication does double duty in Pangea: the replicas of a locality set may
+use *different* partitionings, so they serve both failure recovery and
+computational efficiency (co-partitioned joins), without storing extra
+copies beyond the replication factor.
+"""
+
+from repro.placement.partitioner import (
+    HashPartitioner,
+    PartitionComp,
+    PartitionScheme,
+    RangePartitioner,
+    RoundRobinPartitioner,
+    partition_set,
+)
+from repro.placement.replication import (
+    ReplicationGroup,
+    expected_colliding_objects,
+    expected_unsafe_ratio,
+    register_replica,
+)
+from repro.placement.recovery import RecoveryReport, recover_node
+from repro.placement.rsafety import (
+    ensure_r_safety,
+    object_node_spread,
+    recover_concurrent_failures,
+)
+
+__all__ = [
+    "PartitionScheme",
+    "PartitionComp",
+    "HashPartitioner",
+    "RangePartitioner",
+    "RoundRobinPartitioner",
+    "partition_set",
+    "ReplicationGroup",
+    "register_replica",
+    "expected_colliding_objects",
+    "expected_unsafe_ratio",
+    "RecoveryReport",
+    "recover_node",
+    "ensure_r_safety",
+    "object_node_spread",
+    "recover_concurrent_failures",
+]

@@ -1,0 +1,247 @@
+"""Failure recovery from heterogeneous replicas (paper Sec. 7).
+
+To recover a target replica after a node failure, the system picks any
+other replica in the group as the source, runs the target's partitioner
+over the source's surviving records to find the ones whose target copy
+lived on the failed node, and re-dispatches them.  Objects that were lost
+from *every* replica (colliding objects) are recovered from the group's
+dedicated safety set.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.services.sequential import SequentialWriter, make_shard_iterators
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.cluster.cluster import PangeaCluster
+    from repro.core.locality_set import LocalitySet
+    from repro.placement.replication import ReplicationGroup
+
+
+@dataclass
+class RecoveryReport:
+    """What a recovery run did and how long it took (simulated)."""
+
+    failed_node: int
+    seconds: float = 0.0
+    objects_recovered: int = 0
+    colliding_recovered: int = 0
+    bytes_transferred: int = 0
+    replicas_recovered: list = field(default_factory=list)
+
+
+def _lost_test(
+    target: "LocalitySet",
+    failed_node: int,
+    lost_ids: "set | None",
+    object_id_fn,
+):
+    """Predicate: was this record's copy in ``target`` on the failed node?"""
+    partitioner = target.partitioner
+    if partitioner is not None:
+        node_ids = sorted(target.shards)
+        num_nodes = len(node_ids)
+
+        def by_partition(record: object) -> bool:
+            return node_ids[partitioner.partition_of(record) % num_nodes] == failed_node
+
+        return by_partition
+    # Randomly dispatched replica: fall back to the lost-id set.
+    assert lost_ids is not None
+
+    def by_id(record: object) -> bool:
+        return object_id_fn(record) in lost_ids
+
+    return by_id
+
+
+def recover_node(
+    cluster: "PangeaCluster",
+    group: "ReplicationGroup",
+    failed_node: int,
+    workers: int = 8,
+) -> RecoveryReport:
+    """Recover every replica in ``group`` after ``failed_node`` crashed.
+
+    Returns a report whose ``seconds`` is the simulated recovery latency
+    (the Fig. 6 measurement).  The failed node's shards are treated as
+    unreadable; recovered records are re-dispatched over the survivors.
+    """
+    if group.object_id_fn is None:
+        raise ValueError("the replication group has no object_id_fn registered")
+    node = cluster.nodes[failed_node]
+    if not node.failed:
+        node.fail()
+    start = cluster.barrier()
+    object_id_fn = group.object_id_fn
+    report = RecoveryReport(failed_node=failed_node)
+
+    for target in group.members:
+        if failed_node not in target.shards:
+            continue
+        source = _pick_source(group, target)
+        lost_ids = None
+        if target.partitioner is None:
+            lost_ids = _ids_lost_from(target, failed_node, object_id_fn)
+        recovered = _recover_replica(
+            cluster, group, source, target, failed_node, lost_ids, report,
+            workers=workers,
+        )
+        report.replicas_recovered.append((target.name, recovered))
+
+    report.colliding_recovered = _recover_colliding(
+        cluster, group, failed_node, report, workers=workers
+    )
+    end = cluster.barrier()
+    report.seconds = end - start
+    return report
+
+
+def _pick_source(group: "ReplicationGroup", target: "LocalitySet") -> "LocalitySet":
+    for member in group.members:
+        if member is not target:
+            return member
+    raise ValueError("a replication group needs at least two members to recover")
+
+
+def _ids_lost_from(target: "LocalitySet", failed_node: int, object_id_fn) -> set:
+    """Ids whose target copy was on the failed node (metadata-side scan).
+
+    For partitioned replicas the lost key range is computable; for a
+    randomly dispatched replica the system consults the replica's own
+    object index, which we model from the failed shard's page images
+    without charging data I/O (it is metadata the manager already holds).
+    """
+    lost: set = set()
+    shard = target.shards[failed_node]
+    for page in shard.pages:
+        records = page.records
+        if not records and page.on_disk:
+            records = shard.file._payloads.get(page.page_id, [])
+        for record in records:
+            lost.add(object_id_fn(record))
+    return lost
+
+
+def _recover_replica(
+    cluster: "PangeaCluster",
+    group: "ReplicationGroup",
+    source: "LocalitySet",
+    target: "LocalitySet",
+    failed_node: int,
+    lost_ids: "set | None",
+    report: RecoveryReport,
+    workers: int = 8,
+) -> int:
+    is_lost = _lost_test(target, failed_node, lost_ids, group.object_id_fn)
+    survivors = [nid for nid in sorted(target.shards) if nid != failed_node]
+    writers = {
+        nid: SequentialWriter(target.shards[nid], workers=workers)
+        for nid in survivors
+    }
+    for writer in writers.values():
+        writer.attach()
+    recovered = 0
+    recovered_ids: set = set()
+    try:
+        for node_id in sorted(source.shards):
+            if node_id == failed_node:
+                continue
+            shard = source.shards[node_id]
+            moved_bytes = 0
+            for iterator in make_shard_iterators(shard, workers):
+                for page in iterator:
+                    for record in page.records:
+                        shard.node.cpu.per_object(1, workers=workers, factor=2.0)
+                        if not is_lost(record):
+                            continue
+                        object_id = group.object_id_fn(record)
+                        if object_id in recovered_ids:
+                            continue
+                        recovered_ids.add(object_id)
+                        dest = survivors[
+                            _dest_index(object_id, len(survivors))
+                        ]
+                        writers[dest].add_object(record, target.object_bytes)
+                        recovered += 1
+                        if dest != node_id:
+                            moved_bytes += target.object_bytes
+            if moved_bytes:
+                shard.node.network.transfer(
+                    moved_bytes, num_messages=max(1, moved_bytes // (4 << 20))
+                )
+                report.bytes_transferred += moved_bytes
+    finally:
+        for writer in writers.values():
+            writer.flush()
+            writer.close()
+    report.objects_recovered += recovered
+    return recovered
+
+
+def _recover_colliding(
+    cluster: "PangeaCluster",
+    group: "ReplicationGroup",
+    failed_node: int,
+    report: RecoveryReport,
+    workers: int = 8,
+) -> int:
+    """Recover objects whose every replica copy was on the failed node.
+
+    Only colliding objects *homed* on the failed node were actually lost;
+    their copies are restored into every member of the group from the
+    safety set.
+    """
+    if group.colliding_set is None or not group.colliding_ids:
+        return 0
+    object_id_fn = group.object_id_fn
+    lost_home_ids = {
+        oid
+        for oid, home in group.colliding_home.items()
+        if home == failed_node
+    }
+    if not lost_home_ids:
+        return 0
+    writer_groups = []
+    for member in group.members:
+        survivors = [nid for nid in sorted(member.shards) if nid != failed_node]
+        writers = {
+            nid: SequentialWriter(member.shards[nid], workers=workers)
+            for nid in survivors
+        }
+        for writer in writers.values():
+            writer.attach()
+        writer_groups.append((member, survivors, writers))
+    recovered = 0
+    try:
+        for node_id in sorted(group.colliding_set.shards):
+            if node_id == failed_node:
+                continue
+            shard = group.colliding_set.shards[node_id]
+            for iterator in make_shard_iterators(shard, workers):
+                for page in iterator:
+                    for record in page.records:
+                        shard.node.cpu.per_object(1, workers=workers)
+                        object_id = object_id_fn(record)
+                        if object_id not in lost_home_ids:
+                            continue
+                        for member, survivors, writers in writer_groups:
+                            dest = survivors[_dest_index(object_id, len(survivors))]
+                            writers[dest].add_object(record, member.object_bytes)
+                        recovered += 1
+    finally:
+        for _member, _survivors, writers in writer_groups:
+            for writer in writers.values():
+                writer.flush()
+                writer.close()
+    report.objects_recovered += recovered * len(group.members)
+    return recovered
+
+
+def _dest_index(object_id: object, modulus: int) -> int:
+    from repro.util import stable_hash
+
+    return stable_hash(object_id) % max(1, modulus)

@@ -1,0 +1,176 @@
+"""Replication groups and colliding-object management (paper Sec. 7).
+
+Every member of a replication group holds exactly the same objects under a
+different physical organization.  An object "collides" when every replica
+of it happens to land on the same node — losing that node would lose the
+object — so colliding objects are identified at partitioning time and kept
+in a separate locality set replicated HDFS-style on a different node.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.cluster.cluster import PangeaCluster
+    from repro.core.locality_set import LocalitySet
+
+
+def expected_colliding_objects(num_objects: int, num_nodes: int, num_replicas: int = 2) -> float:
+    """Expected colliding count for random partitionings: ``n / k^(r-1)``."""
+    if num_nodes < 1 or num_replicas < 1:
+        raise ValueError("need at least one node and one replica")
+    return num_objects / (num_nodes ** (num_replicas - 1))
+
+
+def expected_unsafe_ratio(num_nodes: int, num_failures: int) -> float:
+    """Paper's ratio of objects with replicas on fewer than r+1 nodes.
+
+    For random partitioning in a ``k``-node cluster tolerating ``r``
+    concurrent failures: ``1 - k(k-1)...(k-r) / k^(r+1)``.
+    """
+    k, r = num_nodes, num_failures
+    if r >= k:
+        return 1.0
+    numerator = 1.0
+    for i in range(r + 1):
+        numerator *= (k - i)
+    return 1.0 - numerator / (k ** (r + 1))
+
+
+@dataclass
+class ReplicationGroup:
+    """All replicas of one logical dataset, plus its colliding-object set."""
+
+    members: "list[LocalitySet]" = field(default_factory=list)
+    object_id_fn: "typing.Callable[[object], object] | None" = None
+    colliding_set: "LocalitySet | None" = None
+    colliding_ids: set = field(default_factory=set)
+    #: object id -> the single node holding every copy of that object
+    colliding_home: dict = field(default_factory=dict)
+    #: extra safety sets created by ensure_r_safety (r > 1 tolerance)
+    extra_safety_sets: list = field(default_factory=list)
+    group_id: int | None = None
+
+    def member_named(self, name: str) -> "LocalitySet":
+        for member in self.members:
+            if member.name == name:
+                return member
+        raise KeyError(f"no replica named {name!r} in this group")
+
+    @property
+    def num_colliding(self) -> int:
+        return len(self.colliding_ids)
+
+
+def _object_nodes(dataset: "LocalitySet", object_id_fn) -> dict:
+    """Map object id -> set of node ids holding a copy in this replica."""
+    placement: dict = {}
+    for node_id, shard in dataset.shards.items():
+        for page in shard.pages:
+            records = page.records
+            if not records and page.on_disk:
+                records, _cost = shard.file.read_page(page.page_id)
+            for record in records:
+                placement.setdefault(object_id_fn(record), set()).add(node_id)
+    return placement
+
+
+def register_replica(
+    source: "LocalitySet",
+    replica: "LocalitySet",
+    object_id_fn: "typing.Callable[[object], object]",
+    group: "ReplicationGroup | None" = None,
+) -> ReplicationGroup:
+    """Register ``replica`` as a physical reorganization of ``source``.
+
+    Creates (or extends) the replication group, identifies colliding
+    objects across all members, and stores them in a dedicated
+    write-through locality set placed away from their home node.
+    """
+    cluster: "PangeaCluster" = source.cluster
+    if group is None and source.replica_group_id is not None:
+        group = cluster.manager.replica_group(source.replica_group_id)
+    if group is None:
+        group = ReplicationGroup(members=[source], object_id_fn=object_id_fn)
+        group.group_id = cluster.manager.register_replica_group(group)
+    group.object_id_fn = object_id_fn
+    if replica not in group.members:
+        group.members.append(replica)
+        replica.replica_group_id = group.group_id
+    _refresh_colliding_set(cluster, group)
+    cluster.manager.update_statistics(source)
+    cluster.manager.update_statistics(replica)
+    return group
+
+
+def _refresh_colliding_set(cluster: "PangeaCluster", group: ReplicationGroup) -> None:
+    """Recompute colliding objects and (re)build their safety set."""
+    object_id_fn = group.object_id_fn
+    if object_id_fn is None or len(group.members) < 2:
+        return
+    combined: dict = {}
+    samples: dict = {}
+    for member in group.members:
+        for object_id, nodes in _object_nodes(member, object_id_fn).items():
+            combined.setdefault(object_id, set()).update(nodes)
+    # Keep one record sample per colliding id, pulled from the first member.
+    colliding = {oid for oid, nodes in combined.items() if len(nodes) == 1}
+    group.colliding_ids = colliding
+    group.colliding_home = {
+        oid: next(iter(nodes))
+        for oid, nodes in combined.items()
+        if oid in colliding
+    }
+    if group.colliding_set is not None:
+        cluster.drop_set(group.colliding_set.name)
+        group.colliding_set = None
+    if not colliding:
+        return
+    home_node: dict = {}
+    first = group.members[0]
+    for node_id, shard in first.shards.items():
+        for page in shard.pages:
+            records = page.records
+            if not records and page.on_disk:
+                records, _cost = shard.file.read_page(page.page_id)
+            for record in records:
+                object_id = object_id_fn(record)
+                if object_id in colliding and object_id not in samples:
+                    samples[object_id] = record
+                    home_node[object_id] = node_id
+    safety_name = f"__colliding_group{group.group_id}"
+    safety = cluster.create_set(
+        safety_name,
+        durability="write-through",
+        page_size=first.page_size,
+        object_bytes=first.object_bytes,
+    )
+    from repro.services.sequential import SequentialWriter
+
+    node_ids = sorted(safety.shards)
+    writers = {nid: SequentialWriter(safety.shards[nid]) for nid in node_ids}
+    for writer in writers.values():
+        writer.attach()
+    try:
+        for object_id, record in samples.items():
+            # HDFS-style: the safety copy lives on a *different* node.
+            home = home_node[object_id]
+            choices = [nid for nid in node_ids if nid != home] or node_ids
+            dest = choices[stable_index(object_id, len(choices))]
+            writers[dest].add_object(record, first.object_bytes)
+            if dest != home:
+                first.shards[home].node.network.transfer(first.object_bytes)
+    finally:
+        for writer in writers.values():
+            writer.flush()
+            writer.close()
+    group.colliding_set = safety
+    cluster.barrier()
+
+
+def stable_index(object_id: object, modulus: int) -> int:
+    from repro.util import stable_hash
+
+    return stable_hash(object_id) % max(1, modulus)

@@ -1,0 +1,38 @@
+"""A distributed relational query processor built on Pangea services.
+
+This is the tool the paper builds to evaluate Pangea on TPC-H (Sec. 9.1.2,
+Table 2): scan, filter, flatten, hash, broadcast and partitioned joins,
+two-stage hash aggregation, pipelined execution, and a query scheduler
+that picks co-partitioned replicas to avoid shuffles.
+"""
+
+from repro.query.expressions import col, lit
+from repro.query.explain import explain
+from repro.query.operators import (
+    AggregateNode,
+    FilterNode,
+    FlatMapNode,
+    JoinNode,
+    LimitNode,
+    MapNode,
+    OrderByNode,
+    PlanNode,
+    ScanNode,
+)
+from repro.query.scheduler import QueryScheduler
+
+__all__ = [
+    "col",
+    "lit",
+    "explain",
+    "PlanNode",
+    "ScanNode",
+    "FilterNode",
+    "MapNode",
+    "FlatMapNode",
+    "JoinNode",
+    "AggregateNode",
+    "OrderByNode",
+    "LimitNode",
+    "QueryScheduler",
+]

@@ -1,0 +1,121 @@
+"""EXPLAIN for query plans: the physical strategy without executing.
+
+``explain(scheduler, plan)`` walks the plan the same way the scheduler
+would, consults the statistics service for replica selection and
+size-based join decisions, and renders an indented physical plan.  Sizes
+come from catalog statistics (for base-set chains) or are marked
+unknown (for derived inputs, where the scheduler decides at runtime).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.query.operators import (
+    AggregateNode,
+    JoinNode,
+    LimitNode,
+    OrderByNode,
+    PlanNode,
+    ScanNode,
+    peel_pipeline,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.query.scheduler import QueryScheduler
+
+
+def explain(scheduler: "QueryScheduler", plan: PlanNode) -> str:
+    """Render the physical plan as an indented tree."""
+    lines: list[str] = []
+    _walk(scheduler, plan, 0, lines)
+    return "\n".join(lines)
+
+
+def _emit(lines: list, depth: int, text: str) -> None:
+    lines.append("  " * depth + text)
+
+
+def _estimate_bytes(scheduler: "QueryScheduler", node: PlanNode) -> "int | None":
+    """Catalog-based size estimate for a base-set pipeline, else None."""
+    base, steps = peel_pipeline(node)
+    if not isinstance(base, ScanNode):
+        return None
+    try:
+        stats = scheduler.cluster.manager.statistics(base.set_name)
+    except KeyError:
+        return None
+    dataset = scheduler.cluster.get_set(base.set_name)
+    nbytes = dataset.num_objects * dataset.object_bytes
+    # Without column statistics, apply a fixed selectivity per filter step.
+    for kind, _fn in steps:
+        if kind == "filter":
+            nbytes = int(nbytes * 0.33)
+    del stats
+    return nbytes
+
+
+def _describe_steps(steps: list) -> str:
+    if not steps:
+        return ""
+    counts: dict = {}
+    for kind, _fn in steps:
+        counts[kind] = counts.get(kind, 0) + 1
+    rendered = ", ".join(f"{n}x {k}" for k, n in sorted(counts.items()))
+    return f" | pipeline: {rendered}"
+
+
+def _walk(scheduler: "QueryScheduler", node: PlanNode, depth: int, lines: list) -> None:
+    base, steps = peel_pipeline(node)
+    suffix = _describe_steps(steps)
+
+    if isinstance(base, ScanNode):
+        _emit(lines, depth, f"Scan {base.set_name}{suffix}")
+        return
+
+    if isinstance(base, JoinNode):
+        strategy = _join_strategy(scheduler, base)
+        _emit(lines, depth, f"Join [{base.how}] via {strategy}{suffix}")
+        _walk(scheduler, base.left, depth + 1, lines)
+        _walk(scheduler, base.right, depth + 1, lines)
+        return
+
+    if isinstance(base, AggregateNode):
+        _emit(
+            lines, depth,
+            f"Aggregate (local hash stage per node + final stage){suffix}",
+        )
+        _walk(scheduler, base.child, depth + 1, lines)
+        return
+
+    if isinstance(base, OrderByNode):
+        _emit(lines, depth, f"OrderBy (gather to driver){suffix}")
+        _walk(scheduler, base.child, depth + 1, lines)
+        return
+
+    if isinstance(base, LimitNode):
+        _emit(lines, depth, f"Limit {base.count}{suffix}")
+        _walk(scheduler, base.child, depth + 1, lines)
+        return
+
+    _emit(lines, depth, f"{type(base).__name__}{suffix}")  # pragma: no cover
+
+
+def _join_strategy(scheduler: "QueryScheduler", join: JoinNode) -> str:
+    left_base, _l = peel_pipeline(join.left)
+    right_base, _r = peel_pipeline(join.right)
+    copart = scheduler._copartitioned_replicas(join, left_base, right_base)
+    if copart is not None:
+        left_rep, right_rep = copart
+        # explain() must not perturb the metrics of real executions
+        scheduler.metrics.replica_substitutions -= 2
+        return (
+            f"co-partitioned replicas ({left_rep.name} + {right_rep.name}), "
+            f"no shuffle"
+        )
+    right_bytes = _estimate_bytes(scheduler, join.right)
+    if right_bytes is None:
+        return "broadcast-or-repartition (build-side size known at runtime)"
+    if right_bytes <= scheduler.broadcast_threshold:
+        return f"broadcast (build side ~{right_bytes} bytes)"
+    return f"repartition both sides (build side ~{right_bytes} bytes)"

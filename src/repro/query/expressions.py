@@ -1,0 +1,127 @@
+"""A small expression DSL for predicates and projections over dict records.
+
+>>> predicate = (col("l_quantity") < 24) & (col("l_discount") >= 0.05)
+>>> predicate({"l_quantity": 10, "l_discount": 0.06})
+True
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable
+
+
+class Expr:
+    """A callable expression evaluated against one record (a dict)."""
+
+    def __init__(self, fn: Callable[[dict], object], description: str = "expr") -> None:
+        self._fn = fn
+        self.description = description
+
+    def __call__(self, record: dict) -> object:
+        return self._fn(record)
+
+    # -- arithmetic ----------------------------------------------------
+
+    def _binary(self, other: object, op, symbol: str) -> "Expr":
+        other_expr = other if isinstance(other, Expr) else lit(other)
+        return Expr(
+            lambda record: op(self(record), other_expr(record)),
+            f"({self.description} {symbol} {other_expr.description})",
+        )
+
+    def __add__(self, other):
+        return self._binary(other, operator.add, "+")
+
+    def __radd__(self, other):
+        return lit(other)._binary(self, operator.add, "+")
+
+    def __sub__(self, other):
+        return self._binary(other, operator.sub, "-")
+
+    def __rsub__(self, other):
+        return lit(other)._binary(self, operator.sub, "-")
+
+    def __mul__(self, other):
+        return self._binary(other, operator.mul, "*")
+
+    def __rmul__(self, other):
+        return lit(other)._binary(self, operator.mul, "*")
+
+    def __truediv__(self, other):
+        return self._binary(other, operator.truediv, "/")
+
+    # -- comparisons ---------------------------------------------------
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._binary(other, operator.eq, "==")
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._binary(other, operator.ne, "!=")
+
+    def __lt__(self, other):
+        return self._binary(other, operator.lt, "<")
+
+    def __le__(self, other):
+        return self._binary(other, operator.le, "<=")
+
+    def __gt__(self, other):
+        return self._binary(other, operator.gt, ">")
+
+    def __ge__(self, other):
+        return self._binary(other, operator.ge, ">=")
+
+    def __hash__(self) -> int:  # __eq__ override disables the default
+        return id(self)
+
+    # -- boolean connectives --------------------------------------------
+
+    def __and__(self, other):
+        other_expr = other if isinstance(other, Expr) else lit(other)
+        return Expr(
+            lambda record: bool(self(record)) and bool(other_expr(record)),
+            f"({self.description} AND {other_expr.description})",
+        )
+
+    def __or__(self, other):
+        other_expr = other if isinstance(other, Expr) else lit(other)
+        return Expr(
+            lambda record: bool(self(record)) or bool(other_expr(record)),
+            f"({self.description} OR {other_expr.description})",
+        )
+
+    def __invert__(self):
+        return Expr(lambda record: not self(record), f"(NOT {self.description})")
+
+    # -- helpers ---------------------------------------------------------
+
+    def isin(self, values) -> "Expr":
+        values = set(values)
+        return Expr(lambda record: self(record) in values, f"({self.description} IN ...)")
+
+    def between(self, low, high) -> "Expr":
+        return Expr(
+            lambda record: low <= self(record) < high,
+            f"({self.description} BETWEEN {low} AND {high})",
+        )
+
+    def startswith(self, prefix: str) -> "Expr":
+        return Expr(
+            lambda record: str(self(record)).startswith(prefix),
+            f"({self.description} LIKE '{prefix}%')",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Expr({self.description})"
+
+
+def col(name: str) -> Expr:
+    """Reference a record field."""
+    return Expr(lambda record: record[name], name)
+
+
+def lit(value: object) -> Expr:
+    """A constant."""
+    if isinstance(value, Expr):
+        return value
+    return Expr(lambda record: value, repr(value))

@@ -1,0 +1,165 @@
+"""Logical plan nodes (the operator library of paper Table 2).
+
+Plans are small immutable trees; the :class:`~repro.query.scheduler.
+QueryScheduler` walks them, picks physical strategies (co-partitioned /
+broadcast / repartition joins, two-stage aggregation), and executes them
+on the Pangea services.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+Record = dict
+KeyFn = typing.Callable[[Record], object]
+
+
+class PlanNode:
+    """Base class for plan nodes; supports a fluent builder style."""
+
+    def filter(self, predicate) -> "FilterNode":
+        return FilterNode(self, predicate)
+
+    def map(self, fn) -> "MapNode":
+        return MapNode(self, fn)
+
+    def flat_map(self, fn) -> "FlatMapNode":
+        return FlatMapNode(self, fn)
+
+    def join(
+        self,
+        other: "PlanNode",
+        left_key: KeyFn,
+        right_key: KeyFn,
+        merge,
+        left_key_name: str | None = None,
+        right_key_name: str | None = None,
+        how: str = "inner",
+    ) -> "JoinNode":
+        return JoinNode(
+            self, other, left_key, right_key, merge,
+            left_key_name=left_key_name, right_key_name=right_key_name, how=how,
+        )
+
+    def aggregate(
+        self,
+        key_fn: KeyFn,
+        seed_fn,
+        merge_fn,
+        final_fn,
+    ) -> "AggregateNode":
+        return AggregateNode(self, key_fn, seed_fn, merge_fn, final_fn)
+
+    def order_by(self, key_fn, reverse: bool = False) -> "OrderByNode":
+        return OrderByNode(self, key_fn, reverse)
+
+    def limit(self, count: int) -> "LimitNode":
+        return LimitNode(self, count)
+
+
+@dataclass(frozen=True)
+class ScanNode(PlanNode):
+    """Scan a locality set; the scheduler may substitute a better replica."""
+
+    set_name: str
+
+
+@dataclass(frozen=True)
+class FilterNode(PlanNode):
+    child: PlanNode
+    predicate: typing.Callable[[Record], bool]
+
+
+@dataclass(frozen=True)
+class MapNode(PlanNode):
+    child: PlanNode
+    fn: typing.Callable[[Record], Record]
+
+
+@dataclass(frozen=True)
+class FlatMapNode(PlanNode):
+    """The paper's flatten operator: one record in, many records out."""
+
+    child: PlanNode
+    fn: typing.Callable[[Record], typing.Iterable[Record]]
+
+
+@dataclass(frozen=True)
+class JoinNode(PlanNode):
+    """An equi-join.
+
+    ``left_key_name``/``right_key_name`` let the scheduler match the join
+    keys against replica partition schemes (the statistics service) and
+    pipeline a local join when both inputs are co-partitioned.
+
+    ``how`` supports ``"inner"``, ``"left_semi"`` (left rows with a match),
+    ``"left_anti"`` (left rows without a match), and ``"left_outer"``
+    (unmatched left rows merge with ``None``).
+    """
+
+    left: PlanNode
+    right: PlanNode
+    left_key: KeyFn
+    right_key: KeyFn
+    merge: typing.Callable[[Record, "Record | None"], Record]
+    left_key_name: str | None = None
+    right_key_name: str | None = None
+    how: str = "inner"
+
+    def __post_init__(self) -> None:
+        if self.how not in ("inner", "left_semi", "left_anti", "left_outer"):
+            raise ValueError(f"unsupported join type {self.how!r}")
+
+
+@dataclass(frozen=True)
+class AggregateNode(PlanNode):
+    """Two-stage hash aggregation (local stage + final stage).
+
+    ``seed_fn(record)`` lifts one record into an accumulator and
+    ``merge_fn(a, b)`` combines accumulators — the same combiner folds
+    records locally and merges partials across nodes.  ``final_fn(key,
+    acc)`` emits the output record.
+    """
+
+    child: PlanNode
+    key_fn: KeyFn
+    seed_fn: typing.Callable[[Record], object]
+    merge_fn: typing.Callable[[object, object], object]
+    final_fn: typing.Callable[[object, object], Record]
+
+
+@dataclass(frozen=True)
+class OrderByNode(PlanNode):
+    child: PlanNode
+    key_fn: KeyFn
+    reverse: bool = False
+
+
+@dataclass(frozen=True)
+class LimitNode(PlanNode):
+    child: PlanNode
+    count: int
+
+
+def peel_pipeline(node: PlanNode) -> tuple[PlanNode, list]:
+    """Split a chain of record-at-a-time steps off its base.
+
+    Returns ``(base, steps)`` where ``steps`` is the ordered list of
+    filter/map/flat-map stages to pipeline over the base's pages — the
+    paper's Pipeline component.
+    """
+    steps: list = []
+    while True:
+        if isinstance(node, FilterNode):
+            steps.append(("filter", node.predicate))
+            node = node.child
+        elif isinstance(node, MapNode):
+            steps.append(("map", node.fn))
+            node = node.child
+        elif isinstance(node, FlatMapNode):
+            steps.append(("flatmap", node.fn))
+            node = node.child
+        else:
+            steps.reverse()
+            return node, steps

@@ -1,0 +1,31 @@
+"""Pangea's distributed services (paper Sec. 8).
+
+Services are how applications entrust their data to Pangea, and also how
+locality-set attributes are learned at runtime: attaching the sequential
+write service implies ``sequential-write`` + ``write``, the shuffle service
+implies ``concurrent-write``, the hash service implies
+``random-mutable-write`` + ``random-read``, and so on.
+"""
+
+from repro.services.broadcast import BroadcastMap, broadcast_map
+from repro.services.dispatcher import Dispatcher, ImportReport
+from repro.services.hashsvc import VirtualHashBuffer
+from repro.services.joinmap import JoinMap, build_join_map
+from repro.services.sequential import PageIterator, SequentialWriter, make_page_iterators
+from repro.services.shuffle import ShuffleService, SmallPageAllocator, VirtualShuffleBuffer
+
+__all__ = [
+    "Dispatcher",
+    "ImportReport",
+    "SequentialWriter",
+    "PageIterator",
+    "make_page_iterators",
+    "ShuffleService",
+    "SmallPageAllocator",
+    "VirtualShuffleBuffer",
+    "VirtualHashBuffer",
+    "BroadcastMap",
+    "broadcast_map",
+    "JoinMap",
+    "build_join_map",
+]

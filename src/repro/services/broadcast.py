@@ -1,0 +1,106 @@
+"""The broadcast map service (paper Sec. 8).
+
+Broadcasts a locality set to every node and constructs a hash table from it
+on each node, for broadcast joins.  The per-node tables are built with the
+hash service, so their memory lives in (and is accounted against) each
+node's unified buffer pool.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.services.hashsvc import VirtualHashBuffer
+from repro.util import estimate_bytes
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.cluster.cluster import PangeaCluster
+    from repro.core.locality_set import LocalitySet
+
+
+def _concat(old: list, new: list) -> list:
+    return old + new
+
+
+class BroadcastMap:
+    """One hash table per node, each holding the whole broadcast set."""
+
+    def __init__(self, cluster: "PangeaCluster", name: str) -> None:
+        self.cluster = cluster
+        self.name = name
+        self.buffers: dict[int, VirtualHashBuffer] = {}
+        self._sets: list[str] = []
+
+    def lookup(self, node_id: int, key: object) -> list:
+        """Probe the map on ``node_id``; returns matches (possibly empty)."""
+        buffer = self.buffers[node_id]
+        found = buffer.find(key)
+        return found if found is not None else []
+
+    def num_keys(self, node_id: int) -> int:
+        return len(self.buffers[node_id])
+
+    def drop(self) -> None:
+        """Broadcast maps are execution data: end lifetime and free pages."""
+        for buffer in self.buffers.values():
+            buffer.release()
+        for set_name in self._sets:
+            dataset = self.cluster.get_set(set_name)
+            dataset.end_lifetime()
+            self.cluster.drop_set(set_name)
+        self.buffers.clear()
+        self._sets.clear()
+
+
+def broadcast_map(
+    source: "LocalitySet",
+    key_fn: "typing.Callable[[object], object]",
+    name: str | None = None,
+    page_size: int | None = None,
+    num_root_partitions: int = 8,
+) -> BroadcastMap:
+    """Broadcast ``source`` and build a per-node hash map keyed by ``key_fn``.
+
+    Each source shard ships its bytes to the other ``n-1`` nodes (charged to
+    the sender's network link); each receiver pays the build cost through
+    the hash service.
+    """
+    cluster = source.cluster
+    name = name or f"{source.name}_bcast"
+    page_size = page_size or source.page_size
+    result = BroadcastMap(cluster, name)
+
+    # Collect the records once (charges the sequential read on each source
+    # node), then charge the broadcast fan-out per sender.
+    records = list(source.scan_records())
+    num_nodes = cluster.num_nodes
+    for shard in source.shards.values():
+        if num_nodes > 1:
+            shard.node.network.transfer(
+                shard.logical_bytes * (num_nodes - 1),
+                num_messages=max(1, len(shard.pages)) * (num_nodes - 1),
+            )
+    cluster.barrier()
+
+    for node in cluster.nodes:
+        set_name = f"{name}_n{node.node_id}"
+        dataset = cluster.create_set(
+            set_name,
+            durability="write-back",
+            page_size=page_size,
+            nodes=[node.node_id],
+            object_bytes=source.object_bytes,
+        )
+        buffer = VirtualHashBuffer(
+            dataset, num_root_partitions=num_root_partitions, combiner=_concat
+        )
+        for record in records:
+            key = key_fn(record)
+            buffer.insert(
+                key, [record], nbytes=estimate_bytes(key) + source.object_bytes
+            )
+        buffer.finalize()
+        result.buffers[node.node_id] = buffer
+        result._sets.append(set_name)
+    cluster.barrier()
+    return result

@@ -1,0 +1,406 @@
+"""The hash service: virtual hash buffers over page-bounded partitions.
+
+Pangea's hash service (paper Sec. 8) uses dynamic partitioning: every
+buffer-pool page hosts an *independent* hash table plus all of its
+key-value payload, with a Memcached-style slab allocator bounding every
+allocation to the page's memory.  The service starts from ``K`` root
+partitions; when a page fills, a child partition is split off onto a new
+page (extendible-hashing style).  When no new page can be obtained, a full
+page is sealed, unpinned, and spilled as a partial-aggregation result;
+:meth:`VirtualHashBuffer.finalize` re-aggregates the spilled partials.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.buffer.page import Page
+from repro.buffer.pool import BufferPoolFullError
+from repro.buffer.slab import SlabAllocator, SlabExhaustedError
+from repro.core.attributes import ReadingPattern, WritingPattern
+from repro.util import estimate_bytes, stable_hash
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.locality_set import LocalitySet, LocalShard
+
+#: Per-entry bookkeeping bytes (bucket pointer, chain link, sizes).
+ENTRY_OVERHEAD = 32
+
+
+def _page_slab(page_size: int) -> SlabAllocator:
+    """The secondary slab allocator bounded to one hash page.
+
+    Slabs are 1MB for ordinary pages (memcached's default); for very large
+    pages the slab grows to page_size/16 so that inflated logical records
+    (scale-down mode) still fit a chunk.
+    """
+    return SlabAllocator(
+        page_size, slab_size=min(page_size, max(1 << 20, page_size // 16))
+    )
+
+
+@dataclass
+class HashServiceStats:
+    inserts: int = 0
+    combines: int = 0
+    splits: int = 0
+    spills: int = 0
+    reloads: int = 0
+
+
+class HashPartitionPage:
+    """One page hosting one hash partition.
+
+    The live table is a Python dict; every entry also reserves a slab chunk
+    in the page so that memory pressure behaves like the paper's
+    implementation (better utilization than a general-purpose allocator,
+    hence later spilling).
+    """
+
+    def __init__(self, shard: "LocalShard", page: Page, root_index: int, depth: int) -> None:
+        self.shard = shard
+        self.page = page
+        self.root_index = root_index
+        self.depth = depth
+        self.table: dict = {}
+        self.slab = _page_slab(page.size)
+        self.spilled = False
+
+    def try_reserve(self, nbytes: int) -> int | None:
+        try:
+            return self.slab.alloc(nbytes)
+        except SlabExhaustedError:
+            return None
+
+    def release(self, offset: int, nbytes: int) -> None:
+        self.slab.free(offset, nbytes)
+
+    def sync_page_accounting(self) -> None:
+        self.page.used_bytes = min(self.page.size, self.slab.used_bytes)
+        self.page.num_objects = len(self.table)
+        self.page.dirty = True
+
+    def spill(self) -> None:
+        """Seal + unpin: the page becomes an evictable partial result.
+
+        Spilled records carry their logical payload size so re-insertion
+        during re-aggregation reserves the same memory.
+        """
+        self.page.records = [
+            (k, v[0], v[2] - ENTRY_OVERHEAD) for k, v in self.table.items()
+        ]
+        self.page.num_objects = len(self.page.records)
+        self.page.dirty = True
+        self.table = {}
+        self.spilled = True
+        self.shard.seal_page(self.page)
+        self.shard.unpin_page(self.page)
+
+
+class _RootPartition:
+    """One of the K root partitions, with extendible splitting."""
+
+    def __init__(self, service: "VirtualHashBuffer", shard: "LocalShard", root_index: int) -> None:
+        self.service = service
+        self.shard = shard
+        self.root_index = root_index
+        self.local_depth = 0
+        first = HashPartitionPage(shard, shard.new_page(pin=True), root_index, depth=0)
+        self.directory: list[HashPartitionPage] = [first]
+        self.spilled_pages: list[Page] = []
+
+    def slot_index(self, sub_hash: int) -> int:
+        return sub_hash & ((1 << self.local_depth) - 1)
+
+    def page_for(self, sub_hash: int) -> HashPartitionPage:
+        return self.directory[self.slot_index(sub_hash)]
+
+    def live_pages(self) -> list[HashPartitionPage]:
+        seen: dict[int, HashPartitionPage] = {}
+        for part in self.directory:
+            seen[id(part)] = part
+        return list(seen.values())
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+
+    def split(self, part: HashPartitionPage) -> None:
+        """Split a full partition onto a freshly allocated page."""
+        if part.depth == self.local_depth:
+            self.directory = self.directory + self.directory
+            self.local_depth += 1
+        sibling = HashPartitionPage(
+            self.shard,
+            self.shard.new_page(pin=True),
+            self.root_index,
+            depth=part.depth + 1,
+        )
+        part.depth += 1
+        bit = 1 << (part.depth - 1)
+        stay: dict = {}
+        for key, (value, sub_hash, nbytes) in part.table.items():
+            if sub_hash & bit:
+                offset = sibling.slab.alloc(nbytes)
+                sibling.table[key] = (value, sub_hash, nbytes)
+                del offset  # offsets are bookkeeping; identity lives in the table
+            else:
+                stay[key] = (value, sub_hash, nbytes)
+        # Rebuild the staying side's slab compactly (a split rewrites the page).
+        part.table = stay
+        part.slab = _page_slab(part.page.size)
+        for key, (value, sub_hash, nbytes) in stay.items():
+            part.slab.alloc(nbytes)
+        part.sync_page_accounting()
+        sibling.sync_page_accounting()
+        for index in range(len(self.directory)):
+            if self.directory[index] is part and (index >> (part.depth - 1)) & 1:
+                self.directory[index] = sibling
+        node = self.shard.node
+        moved = len(sibling.table)
+        node.cpu.per_object(moved, factor=2.0)
+        node.cpu.memcpy(sum(n for _, _, n in sibling.table.values()))
+        self.service.stats.splits += 1
+
+    def spill_one(self) -> HashPartitionPage:
+        """Spill the fullest live partition and mount a fresh page in its slot."""
+        live = [p for p in self.live_pages() if not p.spilled]
+        victim = max(live, key=lambda p: p.slab.used_bytes)
+        victim.spill()
+        self.spilled_pages.append(victim.page)
+        self.service.stats.spills += 1
+        fresh = HashPartitionPage(
+            self.shard, self.shard.new_page(pin=True), self.root_index, victim.depth
+        )
+        for index in range(len(self.directory)):
+            if self.directory[index] is victim:
+                self.directory[index] = fresh
+        return fresh
+
+
+class VirtualHashBuffer:
+    """The application-facing hash map bounded by the buffer pool.
+
+    ``combiner`` merges a new value into an existing one (hash aggregation);
+    the default keeps the newest value, matching the paper's
+    ``insert``/``set`` example.  Use :meth:`finalize` (or iterate
+    :meth:`items`) to fold spilled partial results back in.
+    """
+
+    def __init__(
+        self,
+        dataset: "LocalitySet",
+        num_root_partitions: int = 16,
+        combiner: "typing.Callable | None" = None,
+    ) -> None:
+        if num_root_partitions < 1:
+            raise ValueError("need at least one root partition")
+        self.dataset = dataset
+        self.num_roots = num_root_partitions
+        self.combiner = combiner
+        self.stats = HashServiceStats()
+        dataset.active_writers += 1
+        dataset.attributes.note_write_service(WritingPattern.RANDOM_MUTABLE_WRITE)
+        dataset.attributes.note_read_service(ReadingPattern.RANDOM_READ)
+        shard_list = [dataset.shards[nid] for nid in sorted(dataset.shards)]
+        self.roots = [
+            _RootPartition(self, shard_list[i % len(shard_list)], i)
+            for i in range(num_root_partitions)
+        ]
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def _route(self, key: object) -> tuple[_RootPartition, int]:
+        h = stable_hash(key)
+        root = self.roots[h % self.num_roots]
+        return root, h // self.num_roots
+
+    # ------------------------------------------------------------------
+    # the paper's find/insert/set API
+    # ------------------------------------------------------------------
+
+    def find(self, key: object):
+        """Return the current value for ``key`` or ``None``."""
+        root, sub = self._route(key)
+        entry = root.page_for(sub).table.get(key)
+        root.shard.node.cpu.per_object(1)
+        return entry[0] if entry is not None else None
+
+    def insert(self, key: object, value: object, nbytes: int | None = None) -> None:
+        """Insert a new key (combines when the key already exists)."""
+        self._put(key, value, nbytes, combine=True)
+
+    def set(self, key: object, value: object, nbytes: int | None = None) -> None:
+        """Overwrite the value for an existing or new key."""
+        self._put(key, value, nbytes, combine=False)
+
+    def _put(self, key: object, value: object, nbytes: int | None, combine: bool) -> None:
+        if self._finalized:
+            raise RuntimeError("hash buffer already finalized")
+        root, sub = self._route(key)
+        node = root.shard.node
+        node.cpu.per_object(1, factor=1.5)
+        part = root.page_for(sub)
+        existing = part.table.get(key)
+        if existing is not None:
+            old_value, old_sub, old_bytes = existing
+            if combine and self.combiner is not None:
+                new_value = self.combiner(old_value, value)
+            else:
+                new_value = value
+            part.table[key] = (new_value, old_sub, old_bytes)
+            self.stats.combines += 1
+            return
+        entry_bytes = (
+            nbytes
+            if nbytes is not None
+            else estimate_bytes(key) + estimate_bytes(value)
+        ) + ENTRY_OVERHEAD
+        attempts = 0
+        while True:
+            offset = part.try_reserve(entry_bytes)
+            if offset is not None:
+                part.table[key] = (value, sub, entry_bytes)
+                part.sync_page_accounting()
+                node.cpu.memcpy(entry_bytes)
+                self.stats.inserts += 1
+                return
+            part = self._grow(root, part, sub, attempts)
+            attempts += 1
+
+    def _grow(
+        self, root: _RootPartition, part: HashPartitionPage, sub: int, attempts: int
+    ) -> HashPartitionPage:
+        """Make room for an insert: split if a page is available, else spill.
+
+        After a few unproductive splits (hash-collision pathologies) the
+        partition is force-spilled so the insert always terminates.
+        """
+        if attempts >= 3:
+            root.spill_one()
+            return root.page_for(sub)
+        try:
+            root.split(part)
+        except BufferPoolFullError:
+            root.spill_one()
+        return root.page_for(sub)
+
+    # ------------------------------------------------------------------
+    # finalization: re-aggregate the spilled partials
+    # ------------------------------------------------------------------
+
+    def _detach(self) -> None:
+        if self._finalized:
+            return
+        self._finalized = True
+        self.dataset.active_writers -= 1
+        self.dataset.attributes.note_service_detached(
+            self.dataset.active_readers, self.dataset.active_writers
+        )
+
+    def _read_spilled(self, root: _RootPartition, page: Page) -> list:
+        """Fetch a spilled page's partial result, charging reload costs.
+
+        Reads go straight from the set's file into transient merge memory
+        (not through the pool), so re-aggregation cannot deadlock against
+        the pinned live pages.  Rebuilding hash structure from spilled data
+        pays the paper's ``wr > 1`` penalty as extra CPU time.
+        """
+        node = root.shard.node
+        if page.in_memory:
+            records = list(page.records)
+        else:
+            records, _cost = root.shard.file.read_page(page.page_id)
+            penalty = self.dataset.attributes.random_reread_penalty - 1.0
+            if penalty > 0:
+                node.cpu.compute(
+                    penalty * page.size / node.disks.disks[0].read_bandwidth
+                )
+        self.stats.reloads += 1
+        return records
+
+    def finalize(self, max_rounds_per_spill: int = 10) -> None:
+        """Fold every spilled partial result back into the live tables.
+
+        Used by the join/broadcast map services, which need the whole map
+        resident for random lookups.  Re-inserting may spill again under
+        pressure; a bound on total rounds turns a map that simply does not
+        fit into a clear error instead of thrashing forever.
+        """
+        if self._finalized:
+            return
+        budget = max(1, sum(len(r.spilled_pages) for r in self.roots)) * max_rounds_per_spill
+        for root in self.roots:
+            rounds = 0
+            while root.spilled_pages:
+                rounds += 1
+                if rounds > budget:
+                    raise BufferPoolFullError(
+                        f"hash map for set {self.dataset.name!r} does not fit "
+                        f"in the buffer pool even after {rounds - 1} "
+                        f"re-aggregation rounds"
+                    )
+                page = root.spilled_pages.pop(0)
+                records = self._read_spilled(root, page)
+                if page in root.shard.pages and not page.pinned:
+                    root.shard.drop_page(page)
+                for key, value, nbytes in records:
+                    self._put(key, value, nbytes, combine=True)
+        self._detach()
+
+    def items(self) -> "typing.Iterator[tuple[object, object]]":
+        """Stream the final (key, value) pairs.
+
+        Re-aggregation is per root partition: each root's live tables and
+        spilled partials merge in transient memory (the paper's final
+        aggregation stage streams its output onward), so results larger
+        than the buffer pool still complete — just slowly, because every
+        spilled page is re-read and rebuilt.
+        """
+        self._detach()
+        for root in self.roots:
+            node = root.shard.node
+            merged: dict = {}
+            for part in root.live_pages():
+                for key, (value, _sub, _nbytes) in part.table.items():
+                    if key in merged and self.combiner is not None:
+                        merged[key] = self.combiner(merged[key], value)
+                    else:
+                        merged[key] = value
+            for page in root.spilled_pages:
+                for key, value, _nbytes in self._read_spilled(root, page):
+                    if key in merged and self.combiner is not None:
+                        merged[key] = self.combiner(merged[key], value)
+                    else:
+                        merged[key] = value
+            node.cpu.per_object(len(merged))
+            yield from merged.items()
+
+    def __len__(self) -> int:
+        total = 0
+        for root in self.roots:
+            for part in root.live_pages():
+                total += len(part.table)
+            total += sum(len(p.records) for p in root.spilled_pages)
+        return total
+
+    @property
+    def num_spilled_pages(self) -> int:
+        return self.stats.spills
+
+    def release(self) -> None:
+        """Unpin every live page so the set can be evicted or dropped."""
+        for root in self.roots:
+            for part in root.live_pages():
+                if not part.spilled and part.page.pinned:
+                    part.page.records = [
+                        (k, v[0], v[2] - ENTRY_OVERHEAD)
+                        for k, v in part.table.items()
+                    ]
+                    root.shard.seal_page(part.page)
+                    root.shard.unpin_page(part.page)
+                    part.spilled = True

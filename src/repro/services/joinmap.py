@@ -1,0 +1,96 @@
+"""The join map service (paper Sec. 8).
+
+Builds a *partitioned* hash table distributedly from shuffled data: each
+shuffle partition's records are folded into a hash-service table on the
+partition's home node.  A partitioned hash join then probes the local
+table only.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.services.hashsvc import VirtualHashBuffer
+from repro.util import estimate_bytes
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.cluster.cluster import PangeaCluster
+    from repro.services.shuffle import ShuffleService
+
+
+def _concat(old: list, new: list) -> list:
+    return old + new
+
+
+class JoinMap:
+    """One hash table per shuffle partition, resident on its home node."""
+
+    def __init__(self, cluster: "PangeaCluster", name: str, num_partitions: int) -> None:
+        self.cluster = cluster
+        self.name = name
+        self.num_partitions = num_partitions
+        self.buffers: dict[int, VirtualHashBuffer] = {}
+        self._sets: list[str] = []
+
+    def lookup(self, partition_id: int, key: object) -> list:
+        buffer = self.buffers[partition_id]
+        found = buffer.find(key)
+        return found if found is not None else []
+
+    def num_keys(self, partition_id: int) -> int:
+        return len(self.buffers[partition_id])
+
+    def drop(self) -> None:
+        for buffer in self.buffers.values():
+            buffer.release()
+        for set_name in self._sets:
+            dataset = self.cluster.get_set(set_name)
+            dataset.end_lifetime()
+            self.cluster.drop_set(set_name)
+        self.buffers.clear()
+        self._sets.clear()
+
+
+def build_join_map(
+    shuffle: "ShuffleService",
+    key_fn: "typing.Callable[[object], object]",
+    name: str | None = None,
+    num_root_partitions: int = 4,
+    page_size: int | None = None,
+) -> JoinMap:
+    """Construct the partitioned hash table from a finished shuffle.
+
+    ``page_size`` sizes the hash pages (default: the shuffle's page size);
+    pick a smaller size when many partition maps must stay resident at once.
+    """
+    cluster = shuffle.cluster
+    name = name or f"{shuffle.name}_joinmap"
+    result = JoinMap(cluster, name, shuffle.num_partitions)
+    for partition_id in range(shuffle.num_partitions):
+        partition_set = shuffle.partition_set(partition_id)
+        home_id = sorted(partition_set.shards)[0]
+        set_name = f"{name}_p{partition_id}"
+        dataset = cluster.create_set(
+            set_name,
+            durability="write-back",
+            page_size=page_size or partition_set.page_size,
+            nodes=[home_id],
+            object_bytes=partition_set.object_bytes,
+        )
+        buffer = VirtualHashBuffer(
+            dataset, num_root_partitions=num_root_partitions, combiner=_concat
+        )
+        for iterator in partition_set.get_page_iterators(1):
+            for page in iterator:
+                for record in page.records:
+                    key = key_fn(record)
+                    buffer.insert(
+                        key,
+                        [record],
+                        nbytes=estimate_bytes(key) + partition_set.object_bytes,
+                    )
+        buffer.finalize()
+        result.buffers[partition_id] = buffer
+        result._sets.append(set_name)
+    cluster.barrier()
+    return result

@@ -1,0 +1,249 @@
+"""The sequential read/write service (paper Sec. 8).
+
+Writing attaches a *sequential allocator* to a shard: records are placed
+directly into the current buffer-pool page (no serialization — this is the
+interfacing overhead Pangea avoids), and a full page is sealed, unpinned,
+and replaced with a fresh one.
+
+Reading hands out *concurrent page iterators*: long-living workers each
+pull pages from a shared cursor (the paper's thread-safe circular buffer of
+pinned-page metadata), touch them for the recency model, and unpin them
+when done.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.buffer.page import Page
+from repro.core.attributes import ReadingPattern, WritingPattern
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.locality_set import LocalitySet, LocalShard
+
+
+class NodeFailedError(RuntimeError):
+    """The shard's worker node has failed; its data is unreachable until
+    recovery re-creates it on the survivors."""
+
+
+def _check_alive(shard: "LocalShard") -> None:
+    if shard.node.failed:
+        raise NodeFailedError(
+            f"node {shard.node.node_id} holding a shard of "
+            f"{shard.dataset.name!r} has failed"
+        )
+
+
+class SequentialWriter:
+    """Write records sequentially into one shard.
+
+    Use as a context manager so the service detach (and the attribute
+    downgrade it implies) cannot be forgotten:
+
+    >>> with SequentialWriter(shard) as writer:      # doctest: +SKIP
+    ...     writer.add_object(record, nbytes=80)
+    """
+
+    def __init__(self, shard: "LocalShard", workers: int = 1) -> None:
+        self.shard = shard
+        self.workers = max(1, workers)
+        self._page: Page | None = None
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # service attachment
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "SequentialWriter":
+        self.attach()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def attach(self) -> None:
+        if self._attached:
+            return
+        _check_alive(self.shard)
+        dataset = self.shard.dataset
+        dataset.active_writers += 1
+        dataset.attributes.note_write_service(WritingPattern.SEQUENTIAL_WRITE)
+        self._attached = True
+
+    def close(self) -> None:
+        """Unpin the tail page and detach the service."""
+        if self._page is not None:
+            self.shard.unpin_page(self._page)
+            self._page = None
+        if self._attached:
+            dataset = self.shard.dataset
+            dataset.active_writers -= 1
+            dataset.attributes.note_service_detached(
+                dataset.active_readers, dataset.active_writers
+            )
+            self._attached = False
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def _current_page(self, nbytes: int) -> Page:
+        if self._page is not None and self._page.free_bytes < nbytes:
+            self.shard.seal_page(self._page)
+            self.shard.unpin_page(self._page)
+            self._page = None
+        if self._page is None:
+            # The data proxy exchanges a PinPage message with the storage
+            # process before writing through shared memory (paper Fig. 2).
+            self.shard.node.network.message(2)
+            self._page = self.shard.new_page(pin=True)
+        return self._page
+
+    def add_object(self, record: object, nbytes: int | None = None) -> None:
+        """Sequential-write one record."""
+        if not self._attached:
+            raise RuntimeError("writer is not attached (use it as a context manager)")
+        nbytes = self.shard.dataset.object_bytes if nbytes is None else nbytes
+        if nbytes > self.shard.page_size:
+            raise ValueError(
+                f"a {nbytes}-byte object cannot fit a {self.shard.page_size}-byte page"
+            )
+        page = self._current_page(nbytes)
+        page.append(record, nbytes)
+        node = self.shard.node
+        node.cpu.per_object(1, workers=self.workers)
+        node.cpu.memcpy(nbytes, workers=self.workers)
+
+    def add_data(self, records: list, nbytes_each: int | None = None) -> None:
+        """Sequential-write a batch (single bulk cost charge)."""
+        if not self._attached:
+            raise RuntimeError("writer is not attached (use it as a context manager)")
+        nbytes = self.shard.dataset.object_bytes if nbytes_each is None else nbytes_each
+        node = self.shard.node
+        for record in records:
+            page = self._current_page(nbytes)
+            page.append(record, nbytes)
+        node.cpu.per_object(len(records), workers=self.workers)
+        node.cpu.memcpy(len(records) * nbytes, workers=self.workers)
+
+    def flush(self) -> None:
+        """Seal the current page early (stage boundary)."""
+        if self._page is not None:
+            self.shard.seal_page(self._page)
+            self.shard.unpin_page(self._page)
+            self._page = None
+
+
+class _SharedCursor:
+    """The thread-safe circular buffer the computation workers pull from."""
+
+    def __init__(self, pages: list[Page], dataset: "LocalitySet") -> None:
+        self.pages = pages
+        self.dataset = dataset
+        self.index = 0
+        self.active_iterators = 0
+
+    def next_page(self) -> Page | None:
+        if self.index >= len(self.pages):
+            return None
+        page = self.pages[self.index]
+        self.index += 1
+        return page
+
+    def iterator_done(self) -> None:
+        self.active_iterators -= 1
+        if self.active_iterators == 0:
+            self.dataset.active_readers -= 1
+            self.dataset.attributes.note_service_detached(
+                self.dataset.active_readers, self.dataset.active_writers
+            )
+
+
+class PageIterator:
+    """One worker's view of the shared page cursor.
+
+    Each ``next()`` pins the page (reloading it from the set's file if it
+    was evicted, which charges real simulated I/O), touches it for recency,
+    and unpins the previously returned page.
+    """
+
+    def __init__(self, cursor: _SharedCursor, workers: int) -> None:
+        self._cursor = cursor
+        self._workers = workers
+        self._current: Page | None = None
+        self._done = False
+        cursor.active_iterators += 1
+
+    def next(self) -> Page | None:
+        if self._current is not None:
+            self._current.shard.unpin_page(self._current)
+            self._current = None
+        if self._done:
+            return None
+        page = self._cursor.next_page()
+        if page is None:
+            self._done = True
+            self._cursor.iterator_done()
+            return None
+        shard = page.shard
+        # Page metadata flows through the circular buffer (one socket
+        # message per pinned page, paper Fig. 2).
+        shard.node.network.message(1)
+        shard.pin_page(page)
+        shard.node.cpu.per_object(page.num_objects, workers=self._workers)
+        self._current = page
+        return page
+
+    def __iter__(self):
+        while True:
+            page = self.next()
+            if page is None:
+                return
+            yield page
+
+    def close(self) -> None:
+        if self._current is not None:
+            self._current.shard.unpin_page(self._current)
+            self._current = None
+        if not self._done:
+            self._done = True
+            self._cursor.iterator_done()
+
+
+def make_shard_iterators(shard: "LocalShard", num_threads: int = 1) -> list[PageIterator]:
+    """Concurrent page iterators over a single node's shard."""
+    if num_threads < 1:
+        raise ValueError("need at least one iterator")
+    _check_alive(shard)
+    dataset = shard.dataset
+    dataset.active_readers += 1
+    dataset.attributes.note_read_service(ReadingPattern.SEQUENTIAL_READ)
+    shard.node.network.message(1)
+    cursor = _SharedCursor(list(shard.pages), dataset)
+    return [PageIterator(cursor, num_threads) for _ in range(num_threads)]
+
+
+def make_page_iterators(dataset: "LocalitySet", num_threads: int = 1) -> list[PageIterator]:
+    """Concurrent page iterators over every shard of ``dataset``.
+
+    The read service marks the set ``sequential-read`` and (while attached)
+    ``read``; the GetSetPages handshake costs one control message per shard.
+    """
+    if num_threads < 1:
+        raise ValueError("need at least one iterator")
+    dataset.active_readers += 1
+    dataset.attributes.note_read_service(ReadingPattern.SEQUENTIAL_READ)
+    pages: list[Page] = []
+    for node_id in sorted(dataset.shards):
+        shard = dataset.shards[node_id]
+        _check_alive(shard)
+        shard.node.network.message(1)
+        pages.extend(shard.pages)
+    cursor = _SharedCursor(pages, dataset)
+    iterators = [PageIterator(cursor, num_threads) for _ in range(num_threads)]
+    if not pages:
+        # No pages: retire the read attachment immediately via one iterator
+        # drain so attributes do not stay stuck at "read".
+        pass
+    return iterators

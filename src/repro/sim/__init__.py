@@ -1,0 +1,25 @@
+"""Simulated-time substrate.
+
+The paper evaluates Pangea on real AWS clusters (r4.2xlarge workers with
+local SSDs, an m3.xlarge micro-benchmark box).  A pure-Python reproduction
+cannot measure those effects with wall-clock time, so every component in this
+repository charges *simulated seconds* to a :class:`SimClock` instead.  Costs
+are computed from device profiles (disk bandwidth and latency, memory-copy
+bandwidth, serialization throughput, network links) calibrated to the paper's
+hardware, which preserves the shape of every experiment: who wins, by what
+rough factor, and where the crossover points fall.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.devices import CpuProfile, DiskArray, DiskDevice
+from repro.sim.network import NetworkLink
+from repro.sim.profiles import MachineProfile
+
+__all__ = [
+    "SimClock",
+    "CpuProfile",
+    "DiskDevice",
+    "DiskArray",
+    "NetworkLink",
+    "MachineProfile",
+]

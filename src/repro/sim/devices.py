@@ -1,0 +1,200 @@
+"""Cost models for the devices the paper's experiments exercise.
+
+All costs are returned in simulated seconds and also charged to the owning
+:class:`~repro.sim.clock.SimClock` when one is attached.  Parameters default
+to values calibrated against the hardware in the paper's evaluation (AWS
+r4.2xlarge workers and an m3.xlarge micro-benchmark instance with SSD
+instance-store disks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.clock import SimClock
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass
+class DiskStats:
+    """Byte and operation counters for one disk."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    num_reads: int = 0
+    num_writes: int = 0
+
+    def reset(self) -> None:
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.num_reads = 0
+        self.num_writes = 0
+
+
+class DiskDevice:
+    """A single SSD with sequential bandwidth and per-I/O latency.
+
+    The cost of one operation is ``latency + nbytes / bandwidth``; issuing
+    many small I/Os therefore costs far more than a few large ones, which is
+    what makes the paper's 64MB pages beat the OS VM's 4KB pages (Sec. 9.2.1).
+    """
+
+    def __init__(
+        self,
+        name: str = "ssd0",
+        read_bandwidth: float = 450 * MB,
+        write_bandwidth: float = 380 * MB,
+        io_latency: float = 100e-6,
+        clock: SimClock | None = None,
+    ) -> None:
+        if read_bandwidth <= 0 or write_bandwidth <= 0:
+            raise ValueError("disk bandwidth must be positive")
+        if io_latency < 0:
+            raise ValueError("disk latency cannot be negative")
+        self.name = name
+        self.read_bandwidth = float(read_bandwidth)
+        self.write_bandwidth = float(write_bandwidth)
+        self.io_latency = float(io_latency)
+        self.clock = clock
+        self.stats = DiskStats()
+
+    def _charge(self, seconds: float) -> float:
+        if self.clock is not None:
+            self.clock.advance(seconds)
+        return seconds
+
+    def read(self, nbytes: int, num_ios: int = 1) -> float:
+        """Charge a read of ``nbytes`` spread over ``num_ios`` operations."""
+        if nbytes < 0:
+            raise ValueError("cannot read a negative number of bytes")
+        num_ios = max(1, num_ios)
+        self.stats.bytes_read += nbytes
+        self.stats.num_reads += num_ios
+        return self._charge(num_ios * self.io_latency + nbytes / self.read_bandwidth)
+
+    def write(self, nbytes: int, num_ios: int = 1) -> float:
+        """Charge a write of ``nbytes`` spread over ``num_ios`` operations."""
+        if nbytes < 0:
+            raise ValueError("cannot write a negative number of bytes")
+        num_ios = max(1, num_ios)
+        self.stats.bytes_written += nbytes
+        self.stats.num_writes += num_ios
+        return self._charge(num_ios * self.io_latency + nbytes / self.write_bandwidth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiskDevice({self.name!r}, read={self.read_bandwidth / MB:.0f}MB/s)"
+
+
+class DiskArray:
+    """A set of disks a Pangea data file can be striped across.
+
+    The paper shows 2-disk configurations roughly halving I/O time for
+    large sequential transfers (Figs. 7-9, Tab. 3); striping across ``n``
+    disks multiplies effective bandwidth by ``n`` while latency stays
+    per-operation.
+    """
+
+    def __init__(self, disks: list[DiskDevice]) -> None:
+        if not disks:
+            raise ValueError("a disk array needs at least one disk")
+        self.disks = list(disks)
+
+    @property
+    def num_disks(self) -> int:
+        return len(self.disks)
+
+    def read(self, nbytes: int, num_ios: int = 1) -> float:
+        """Striped read: each disk serves an equal share in parallel."""
+        share = nbytes // self.num_disks
+        remainder = nbytes - share * (self.num_disks - 1)
+        costs = []
+        for i, disk in enumerate(self.disks):
+            chunk = remainder if i == 0 else share
+            costs.append(
+                max(1, num_ios // self.num_disks) * disk.io_latency
+                + chunk / disk.read_bandwidth
+            )
+            disk.stats.bytes_read += chunk
+            disk.stats.num_reads += max(1, num_ios // self.num_disks)
+        cost = max(costs)
+        if self.disks[0].clock is not None:
+            self.disks[0].clock.advance(cost)
+        return cost
+
+    def write(self, nbytes: int, num_ios: int = 1) -> float:
+        """Striped write: each disk absorbs an equal share in parallel."""
+        share = nbytes // self.num_disks
+        remainder = nbytes - share * (self.num_disks - 1)
+        costs = []
+        for i, disk in enumerate(self.disks):
+            chunk = remainder if i == 0 else share
+            costs.append(
+                max(1, num_ios // self.num_disks) * disk.io_latency
+                + chunk / disk.write_bandwidth
+            )
+            disk.stats.bytes_written += chunk
+            disk.stats.num_writes += max(1, num_ios // self.num_disks)
+        cost = max(costs)
+        if self.disks[0].clock is not None:
+            self.disks[0].clock.advance(cost)
+        return cost
+
+    def total_bytes_written(self) -> int:
+        return sum(d.stats.bytes_written for d in self.disks)
+
+    def total_bytes_read(self) -> int:
+        return sum(d.stats.bytes_read for d in self.disks)
+
+    def reset_stats(self) -> None:
+        for disk in self.disks:
+            disk.stats.reset()
+
+
+@dataclass
+class CpuProfile:
+    """Per-node CPU cost model.
+
+    ``memcpy_bandwidth`` covers raw in-memory moves; ``serialize_bandwidth``
+    and ``deserialize_bandwidth`` cover object (de)objectification, the
+    "interfacing overhead" the paper blames for much of the layered systems'
+    slowdown; ``per_object_overhead`` charges fixed work per record (hashing,
+    allocation bookkeeping).
+    """
+
+    cores: int = 8
+    memcpy_bandwidth: float = 8 * GB
+    serialize_bandwidth: float = 1.2 * GB
+    deserialize_bandwidth: float = 1.0 * GB
+    per_object_overhead: float = 25e-9
+    clock: SimClock | None = field(default=None, repr=False)
+
+    def _charge(self, seconds: float) -> float:
+        if self.clock is not None:
+            self.clock.advance(seconds)
+        return seconds
+
+    def parallel(self, seconds: float, workers: int = 1) -> float:
+        """Charge CPU work shared by ``workers`` threads (capped at cores)."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative CPU time")
+        effective = max(1, min(workers, self.cores))
+        return self._charge(seconds / effective)
+
+    def memcpy(self, nbytes: int, workers: int = 1) -> float:
+        return self.parallel(nbytes / self.memcpy_bandwidth, workers)
+
+    def serialize(self, nbytes: int, workers: int = 1) -> float:
+        return self.parallel(nbytes / self.serialize_bandwidth, workers)
+
+    def deserialize(self, nbytes: int, workers: int = 1) -> float:
+        return self.parallel(nbytes / self.deserialize_bandwidth, workers)
+
+    def per_object(self, num_objects: int, workers: int = 1, factor: float = 1.0) -> float:
+        return self.parallel(num_objects * self.per_object_overhead * factor, workers)
+
+    def compute(self, seconds: float, workers: int = 1) -> float:
+        """Charge arbitrary computation time (e.g. a UDF over records)."""
+        return self.parallel(seconds, workers)

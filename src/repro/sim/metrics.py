@@ -1,0 +1,119 @@
+"""Cluster metrics collection and reporting.
+
+Gathers the per-node counters every component maintains (clock, disks,
+network, buffer pool, paging) into one snapshot — handy for examples,
+benchmarks, and debugging cost-model questions.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.sim.devices import MB
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import PangeaCluster
+
+
+@dataclass
+class NodeMetrics:
+    """One worker's counters at snapshot time."""
+
+    node_id: int
+    seconds: float
+    pool_used_bytes: int
+    pool_capacity_bytes: int
+    disk_bytes_read: int
+    disk_bytes_written: int
+    network_bytes_sent: int
+    evictions: int
+    pageouts: int
+    pageins: int
+    bytes_paged_out: int
+    bytes_paged_in: int
+
+    @property
+    def pool_utilization(self) -> float:
+        if self.pool_capacity_bytes == 0:
+            return 0.0
+        return self.pool_used_bytes / self.pool_capacity_bytes
+
+
+@dataclass
+class ClusterMetrics:
+    """A whole-cluster snapshot."""
+
+    nodes: list = field(default_factory=list)
+
+    @property
+    def simulated_seconds(self) -> float:
+        return max((n.seconds for n in self.nodes), default=0.0)
+
+    @property
+    def total_disk_bytes(self) -> int:
+        return sum(n.disk_bytes_read + n.disk_bytes_written for n in self.nodes)
+
+    @property
+    def total_network_bytes(self) -> int:
+        return sum(n.network_bytes_sent for n in self.nodes)
+
+    @property
+    def total_evictions(self) -> int:
+        return sum(n.evictions for n in self.nodes)
+
+    def skew(self) -> float:
+        """Max-over-mean of per-node simulated time (1.0 = perfectly even)."""
+        if not self.nodes:
+            return 1.0
+        times = [n.seconds for n in self.nodes]
+        mean = sum(times) / len(times)
+        if mean == 0:
+            return 1.0
+        return max(times) / mean
+
+
+def collect(cluster: "PangeaCluster") -> ClusterMetrics:
+    """Snapshot every node's counters."""
+    snapshot = ClusterMetrics()
+    for node in cluster.nodes:
+        snapshot.nodes.append(
+            NodeMetrics(
+                node_id=node.node_id,
+                seconds=node.clock.now,
+                pool_used_bytes=node.pool.used_bytes,
+                pool_capacity_bytes=node.pool.capacity,
+                disk_bytes_read=node.disks.total_bytes_read(),
+                disk_bytes_written=node.disks.total_bytes_written(),
+                network_bytes_sent=node.network.stats.bytes_sent,
+                evictions=node.pool.stats.evictions,
+                pageouts=node.pool.stats.pageouts,
+                pageins=node.pool.stats.pageins,
+                bytes_paged_out=node.pool.stats.bytes_paged_out,
+                bytes_paged_in=node.pool.stats.bytes_paged_in,
+            )
+        )
+    return snapshot
+
+
+def format_table(metrics: ClusterMetrics) -> str:
+    """Render the snapshot as a fixed-width table."""
+    lines = [
+        f"{'node':>5s} {'seconds':>9s} {'pool':>12s} {'disk r/w (MB)':>16s} "
+        f"{'net (MB)':>9s} {'evict':>6s} {'out/in':>9s}"
+    ]
+    for n in metrics.nodes:
+        pool = f"{n.pool_used_bytes // MB}/{n.pool_capacity_bytes // MB}MB"
+        disk = f"{n.disk_bytes_read // MB}/{n.disk_bytes_written // MB}"
+        lines.append(
+            f"{n.node_id:5d} {n.seconds:8.3f}s {pool:>12s} {disk:>16s} "
+            f"{n.network_bytes_sent // MB:8d} {n.evictions:6d} "
+            f"{n.pageouts:4d}/{n.pageins:<4d}"
+        )
+    lines.append(
+        f"total: {metrics.simulated_seconds:.3f}s simulated, "
+        f"{metrics.total_disk_bytes // MB}MB disk, "
+        f"{metrics.total_network_bytes // MB}MB network, "
+        f"skew {metrics.skew():.2f}"
+    )
+    return "\n".join(lines)

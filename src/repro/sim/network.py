@@ -1,0 +1,62 @@
+"""Network cost model for the distributed benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.clock import SimClock
+from repro.sim.devices import GB
+
+
+@dataclass
+class NetworkStats:
+    bytes_sent: int = 0
+    num_messages: int = 0
+
+    def reset(self) -> None:
+        self.bytes_sent = 0
+        self.num_messages = 0
+
+
+class NetworkLink:
+    """A full-duplex link between a node and the cluster fabric.
+
+    AWS r4.2xlarge instances have "up to 10 Gigabit" networking; we default
+    to an effective 1.0 GB/s with a per-message latency.  Shuffle and
+    broadcast services charge transfers here; the data proxy's metadata
+    messages (paper Sec. 5) charge only the latency term.
+    """
+
+    def __init__(
+        self,
+        bandwidth: float = 1.0 * GB,
+        latency: float = 150e-6,
+        clock: SimClock | None = None,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError("network bandwidth must be positive")
+        if latency < 0:
+            raise ValueError("network latency cannot be negative")
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.clock = clock
+        self.stats = NetworkStats()
+
+    def _charge(self, seconds: float) -> float:
+        if self.clock is not None:
+            self.clock.advance(seconds)
+        return seconds
+
+    def transfer(self, nbytes: int, num_messages: int = 1) -> float:
+        """Charge a bulk transfer of ``nbytes`` in ``num_messages`` messages."""
+        if nbytes < 0:
+            raise ValueError("cannot transfer a negative number of bytes")
+        num_messages = max(1, num_messages)
+        self.stats.bytes_sent += nbytes
+        self.stats.num_messages += num_messages
+        return self._charge(num_messages * self.latency + nbytes / self.bandwidth)
+
+    def message(self, num_messages: int = 1) -> float:
+        """Charge control-plane messages (page pin/unpin metadata etc.)."""
+        self.stats.num_messages += num_messages
+        return self._charge(num_messages * self.latency)

@@ -1,0 +1,100 @@
+"""Calibrated machine profiles matching the paper's evaluation hardware."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.devices import GB, MB, CpuProfile, DiskDevice
+from repro.sim.network import NetworkLink
+
+
+@dataclass
+class DiskSpec:
+    """Parameters used to instantiate one disk on each worker node."""
+
+    read_bandwidth: float = 450 * MB
+    write_bandwidth: float = 380 * MB
+    io_latency: float = 100e-6
+
+    def build(self, name: str) -> DiskDevice:
+        return DiskDevice(
+            name=name,
+            read_bandwidth=self.read_bandwidth,
+            write_bandwidth=self.write_bandwidth,
+            io_latency=self.io_latency,
+        )
+
+
+@dataclass
+class MachineProfile:
+    """Everything needed to build one simulated worker node.
+
+    ``memory_bytes`` is the RAM the machine has; ``pool_bytes`` is the share
+    given to the Pangea buffer pool (the paper uses 50GB of the r4.2xlarge's
+    61GB, and ~14GB of the m3.xlarge's 15GB).
+    """
+
+    name: str = "custom"
+    cores: int = 8
+    memory_bytes: int = 61 * GB
+    pool_bytes: int = 50 * GB
+    num_disks: int = 1
+    disk: DiskSpec = field(default_factory=DiskSpec)
+    network_bandwidth: float = 1.0 * GB
+    network_latency: float = 150e-6
+    cpu_memcpy_bandwidth: float = 8 * GB
+    cpu_serialize_bandwidth: float = 1.2 * GB
+    cpu_deserialize_bandwidth: float = 1.0 * GB
+    cpu_per_object_overhead: float = 25e-9
+
+    @classmethod
+    def r4_2xlarge(cls, pool_bytes: int = 50 * GB) -> "MachineProfile":
+        """The distributed-benchmark worker: 8 cores, 61GB RAM, one 200GB SSD."""
+        return cls(
+            name="r4.2xlarge",
+            cores=8,
+            memory_bytes=61 * GB,
+            pool_bytes=pool_bytes,
+            num_disks=1,
+        )
+
+    @classmethod
+    def m3_xlarge(cls, num_disks: int = 2, pool_bytes: int = 14 * GB) -> "MachineProfile":
+        """The micro-benchmark box: 4 cores, 15GB RAM, two SSD instance disks."""
+        return cls(
+            name="m3.xlarge",
+            cores=4,
+            memory_bytes=15 * GB,
+            pool_bytes=pool_bytes,
+            num_disks=num_disks,
+        )
+
+    @classmethod
+    def tiny(cls, pool_bytes: int = 64 * MB, num_disks: int = 1) -> "MachineProfile":
+        """A small profile for unit tests: 4 cores, tiny pool, fast maths."""
+        return cls(
+            name="tiny",
+            cores=4,
+            memory_bytes=4 * pool_bytes,
+            pool_bytes=pool_bytes,
+            num_disks=num_disks,
+        )
+
+    def build_disks(self, node_id: int = 0) -> list[DiskDevice]:
+        return [
+            self.disk.build(name=f"node{node_id}-ssd{i}") for i in range(self.num_disks)
+        ]
+
+    def build_cpu(self) -> CpuProfile:
+        return CpuProfile(
+            cores=self.cores,
+            memcpy_bandwidth=self.cpu_memcpy_bandwidth,
+            serialize_bandwidth=self.cpu_serialize_bandwidth,
+            deserialize_bandwidth=self.cpu_deserialize_bandwidth,
+            per_object_overhead=self.cpu_per_object_overhead,
+        )
+
+    def build_network(self) -> NetworkLink:
+        return NetworkLink(
+            bandwidth=self.network_bandwidth, latency=self.network_latency
+        )

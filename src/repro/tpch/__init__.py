@@ -1,0 +1,22 @@
+"""TPC-H substrate: schemas, a deterministic dbgen-like generator, the nine
+benchmark queries the paper runs (Q01 Q02 Q04 Q06 Q12 Q13 Q14 Q17 Q22), and
+pure-Python reference implementations used as the correctness oracle.
+"""
+
+from repro.tpch.datagen import TpchGenerator, load_tpch
+from repro.tpch.extra_queries import EXTRA_QUERIES, EXTRA_REFERENCE_QUERIES
+from repro.tpch.full_queries import FULL_QUERIES, FULL_REFERENCE_QUERIES
+from repro.tpch.queries import QUERIES, register_tpch_replicas
+from repro.tpch.reference import REFERENCE_QUERIES
+
+__all__ = [
+    "TpchGenerator",
+    "load_tpch",
+    "QUERIES",
+    "register_tpch_replicas",
+    "REFERENCE_QUERIES",
+    "EXTRA_QUERIES",
+    "EXTRA_REFERENCE_QUERIES",
+    "FULL_QUERIES",
+    "FULL_REFERENCE_QUERIES",
+]

@@ -1,0 +1,286 @@
+"""A deterministic dbgen-like TPC-H data generator.
+
+``TpchGenerator(scale)`` produces dict records for every table with the
+value distributions the nine benchmark queries depend on (ship/commit/
+receipt date relationships, PROMO part types, comment patterns for Q13,
+phone country codes for Q22, ...).  Generation is seeded, so two runs at
+the same scale produce identical data.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.tpch import schema
+
+
+class TpchGenerator:
+    """Generate all eight TPC-H tables at a fractional scale factor."""
+
+    def __init__(self, scale: float = 0.001, seed: int = 7) -> None:
+        if scale <= 0:
+            raise ValueError("scale factor must be positive")
+        self.scale = scale
+        self.seed = seed
+        self.num_parts = schema.rows_for("part", scale)
+        self.num_suppliers = schema.rows_for("supplier", scale)
+        self.num_customers = schema.rows_for("customer", scale)
+        self.num_orders = schema.rows_for("orders", scale)
+
+    # ------------------------------------------------------------------
+    # small dimension tables
+    # ------------------------------------------------------------------
+
+    def region(self) -> list[dict]:
+        return [
+            {"r_regionkey": i, "r_name": name, "r_comment": f"region {name.lower()}"}
+            for i, name in enumerate(schema.REGIONS)
+        ]
+
+    def nation(self) -> list[dict]:
+        return [
+            {
+                "n_nationkey": i,
+                "n_name": name,
+                "n_regionkey": region,
+                "n_comment": f"nation {name.lower()}",
+            }
+            for i, (name, region) in enumerate(schema.NATIONS)
+        ]
+
+    # ------------------------------------------------------------------
+    # base tables
+    # ------------------------------------------------------------------
+
+    def supplier(self) -> list[dict]:
+        rng = random.Random(f"{self.seed}-supplier")
+        rows = []
+        for key in range(1, self.num_suppliers + 1):
+            nation = rng.randrange(len(schema.NATIONS))
+            rows.append(
+                {
+                    "s_suppkey": key,
+                    "s_name": f"Supplier#{key:09d}",
+                    "s_address": f"addr-{rng.randrange(10_000)}",
+                    "s_nationkey": nation,
+                    "s_phone": _phone(nation, rng),
+                    "s_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
+                    "s_comment": _comment(rng, supplier=True),
+                }
+            )
+        return rows
+
+    def customer(self) -> list[dict]:
+        rng = random.Random(f"{self.seed}-customer")
+        rows = []
+        for key in range(1, self.num_customers + 1):
+            nation = rng.randrange(len(schema.NATIONS))
+            rows.append(
+                {
+                    "c_custkey": key,
+                    "c_name": f"Customer#{key:09d}",
+                    "c_address": f"addr-{rng.randrange(100_000)}",
+                    "c_nationkey": nation,
+                    "c_phone": _phone(nation, rng),
+                    "c_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
+                    "c_mktsegment": rng.choice(schema.MARKET_SEGMENTS),
+                    "c_comment": _comment(rng),
+                }
+            )
+        return rows
+
+    def part(self) -> list[dict]:
+        rng = random.Random(f"{self.seed}-part")
+        rows = []
+        for key in range(1, self.num_parts + 1):
+            brand = f"Brand#{rng.randrange(1, 6)}{rng.randrange(1, 6)}"
+            ptype = " ".join(
+                (
+                    rng.choice(schema.TYPE_SYLLABLE_1),
+                    rng.choice(schema.TYPE_SYLLABLE_2),
+                    rng.choice(schema.TYPE_SYLLABLE_3),
+                )
+            )
+            container = " ".join(
+                (
+                    rng.choice(schema.CONTAINER_SYLLABLE_1),
+                    rng.choice(schema.CONTAINER_SYLLABLE_2),
+                )
+            )
+            name = " ".join(rng.sample(schema.P_NAME_WORDS, 5))
+            rows.append(
+                {
+                    "p_partkey": key,
+                    "p_name": name,
+                    "p_mfgr": f"Manufacturer#{rng.randrange(1, 6)}",
+                    "p_brand": brand,
+                    "p_type": ptype,
+                    "p_size": rng.randrange(1, 51),
+                    "p_container": container,
+                    "p_retailprice": round(900 + (key % 1000) * 0.1, 2),
+                    "p_comment": "plated",
+                }
+            )
+        return rows
+
+    def suppliers_of_part(self, partkey: int) -> list[int]:
+        """The four suppliers dbgen assigns to a part; lineitem draws its
+        ``l_suppkey`` from these so partsupp lookups always succeed."""
+        return [
+            1 + (partkey + i * (self.num_suppliers // 4 + 1)) % self.num_suppliers
+            for i in range(4)
+        ]
+
+    def partsupp(self) -> list[dict]:
+        rng = random.Random(f"{self.seed}-partsupp")
+        rows = []
+        for partkey in range(1, self.num_parts + 1):
+            for suppkey in self.suppliers_of_part(partkey):
+                rows.append(
+                    {
+                        "ps_partkey": partkey,
+                        "ps_suppkey": suppkey,
+                        "ps_availqty": rng.randrange(1, 10_000),
+                        "ps_supplycost": round(rng.uniform(1.0, 1000.0), 2),
+                        "ps_comment": "standard",
+                    }
+                )
+        return rows
+
+    def orders(self) -> list[dict]:
+        rng = random.Random(f"{self.seed}-orders")
+        rows = []
+        span = schema.END_DATE - schema.START_DATE - 151
+        for key in range(1, self.num_orders + 1):
+            orderdate = schema.START_DATE + rng.randrange(span)
+            comment = _comment(rng)
+            if rng.random() < 0.01:
+                comment = f"blah special{' packages' if rng.random() < 0.5 else ''} requests blah"
+            # dbgen never assigns orders to customers whose key is divisible
+            # by three — Q13's zero spike and Q22's market depend on it.
+            custkey = rng.randrange(1, self.num_customers + 1)
+            while custkey % 3 == 0:
+                custkey = rng.randrange(1, self.num_customers + 1)
+            rows.append(
+                {
+                    "o_orderkey": key,
+                    "o_custkey": custkey,
+                    "o_orderstatus": "F" if orderdate < schema.CURRENT_DATE else "O",
+                    "o_totalprice": round(rng.uniform(1000, 400_000), 2),
+                    "o_orderdate": orderdate,
+                    "o_orderpriority": rng.choice(schema.ORDER_PRIORITIES),
+                    "o_clerk": f"Clerk#{rng.randrange(1000):09d}",
+                    "o_shippriority": 0,
+                    "o_comment": comment,
+                }
+            )
+        return rows
+
+    def lineitem(self, orders: "list[dict] | None" = None) -> list[dict]:
+        rng = random.Random(f"{self.seed}-lineitem")
+        orders = orders if orders is not None else self.orders()
+        rows = []
+        for order in orders:
+            for linenumber in range(1, rng.randrange(1, 8)):
+                quantity = rng.randrange(1, 51)
+                partkey = rng.randrange(1, self.num_parts + 1)
+                suppkey = rng.choice(self.suppliers_of_part(partkey))
+                shipdate = order["o_orderdate"] + rng.randrange(1, 122)
+                commitdate = order["o_orderdate"] + rng.randrange(30, 91)
+                receiptdate = shipdate + rng.randrange(1, 31)
+                extendedprice = round(quantity * (900 + (partkey % 1000) * 0.1), 2)
+                returnflag = (
+                    rng.choice("RA") if receiptdate <= schema.CURRENT_DATE else "N"
+                )
+                rows.append(
+                    {
+                        "l_orderkey": order["o_orderkey"],
+                        "l_partkey": partkey,
+                        "l_suppkey": suppkey,
+                        "l_linenumber": linenumber,
+                        "l_quantity": quantity,
+                        "l_extendedprice": extendedprice,
+                        "l_discount": round(rng.uniform(0.0, 0.10), 2),
+                        "l_tax": round(rng.uniform(0.0, 0.08), 2),
+                        "l_returnflag": returnflag,
+                        "l_linestatus": "F" if shipdate <= schema.CURRENT_DATE else "O",
+                        "l_shipdate": shipdate,
+                        "l_commitdate": commitdate,
+                        "l_receiptdate": receiptdate,
+                        "l_shipinstruct": rng.choice(schema.SHIP_INSTRUCTS),
+                        "l_shipmode": rng.choice(schema.SHIP_MODES),
+                        "l_comment": "line",
+                    }
+                )
+        return rows
+
+    # ------------------------------------------------------------------
+    # everything
+    # ------------------------------------------------------------------
+
+    def all_tables(self) -> dict[str, list[dict]]:
+        orders = self.orders()
+        return {
+            "region": self.region(),
+            "nation": self.nation(),
+            "supplier": self.supplier(),
+            "customer": self.customer(),
+            "part": self.part(),
+            "partsupp": self.partsupp(),
+            "orders": orders,
+            "lineitem": self.lineitem(orders),
+        }
+
+
+def _phone(nationkey: int, rng: random.Random) -> str:
+    country_code = nationkey + 10
+    return (
+        f"{country_code}-{rng.randrange(100, 1000)}-"
+        f"{rng.randrange(100, 1000)}-{rng.randrange(1000, 10_000)}"
+    )
+
+
+_WORDS = [
+    "carefully", "quickly", "furiously", "ironic", "final", "pending",
+    "bold", "silent", "express", "regular", "deposits", "accounts",
+    "theodolites", "packages", "instructions",
+]
+
+
+def _comment(rng: random.Random, supplier: bool = False) -> str:
+    words = [rng.choice(_WORDS) for _ in range(4)]
+    if supplier and rng.random() < 0.005:
+        words.insert(2, "Customer Complaints")
+    return " ".join(words)
+
+
+def load_tpch(
+    cluster,
+    scale: float = 0.001,
+    page_size: int | None = None,
+    seed: int = 7,
+    row_scale: float = 1.0,
+) -> dict[str, list[dict]]:
+    """Generate TPC-H data and load every table into the cluster.
+
+    Returns the raw tables (useful as the reference-query input).  Each
+    table becomes a randomly dispatched write-through locality set.
+
+    ``row_scale`` inflates each row's *logical* byte size; benchmarks use
+    it to run scale-100 data volumes over scaled-down row counts (set it
+    to ``target_sf / scale``).
+    """
+    from repro.sim.devices import MB
+
+    generator = TpchGenerator(scale=scale, seed=seed)
+    tables = generator.all_tables()
+    page_size = page_size or 4 * MB
+    for name, rows in tables.items():
+        dataset = cluster.create_set(
+            name,
+            durability="write-through",
+            page_size=page_size,
+            object_bytes=max(1, int(schema.ROW_BYTES[name] * row_scale)),
+        )
+        dataset.add_data(rows)
+    return tables

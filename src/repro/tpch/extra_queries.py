@@ -1,0 +1,465 @@
+"""Five additional TPC-H queries beyond the paper's nine.
+
+The paper evaluates Q01 Q02 Q04 Q06 Q12 Q13 Q14 Q17 Q22; these extensions
+(Q03 Q05 Q10 Q18 Q19) exercise the query processor harder — multi-way
+joins, join-key chains across three and more tables, semi-join on an
+aggregate, and disjunctive multi-table predicates — and demonstrate that
+the operator library generalizes past the paper's workload.
+
+Each query has a reference implementation (the oracle) and a plan-based
+implementation with the same output.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import defaultdict
+
+from repro.query.operators import ScanNode
+from repro.tpch.schema import d
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.query.scheduler import QueryScheduler
+
+Q03_SEGMENT = "BUILDING"
+Q03_DATE = d(1995, 3, 15)
+Q05_REGION = "ASIA"
+Q05_DATE_LO = d(1994, 1, 1)
+Q05_DATE_HI = d(1995, 1, 1)
+Q10_DATE_LO = d(1993, 10, 1)
+Q10_DATE_HI = d(1994, 1, 1)
+Q18_QUANTITY = 250
+Q19_BRAND1, Q19_BRAND2, Q19_BRAND3 = "Brand#12", "Brand#23", "Brand#34"
+
+
+def _round(value: float, digits: int = 2) -> float:
+    return round(value, digits)
+
+
+def _revenue(li: dict) -> float:
+    return li["l_extendedprice"] * (1 - li["l_discount"])
+
+
+# ----------------------------------------------------------------------
+# reference implementations (the oracle)
+# ----------------------------------------------------------------------
+
+def ref_q03(tables: dict) -> list[dict]:
+    buyers = {
+        c["c_custkey"] for c in tables["customer"]
+        if c["c_mktsegment"] == Q03_SEGMENT
+    }
+    orders = {
+        o["o_orderkey"]: o
+        for o in tables["orders"]
+        if o["o_orderdate"] < Q03_DATE and o["o_custkey"] in buyers
+    }
+    revenue: dict = defaultdict(float)
+    for li in tables["lineitem"]:
+        if li["l_shipdate"] > Q03_DATE and li["l_orderkey"] in orders:
+            revenue[li["l_orderkey"]] += _revenue(li)
+    out = [
+        {
+            "l_orderkey": orderkey,
+            "revenue": _round(total),
+            "o_orderdate": orders[orderkey]["o_orderdate"],
+            "o_shippriority": orders[orderkey]["o_shippriority"],
+        }
+        for orderkey, total in revenue.items()
+    ]
+    out.sort(key=lambda r: (-r["revenue"], r["o_orderdate"], r["l_orderkey"]))
+    return out[:10]
+
+
+def ref_q05(tables: dict) -> list[dict]:
+    region_keys = {
+        r["r_regionkey"] for r in tables["region"] if r["r_name"] == Q05_REGION
+    }
+    nations = {
+        n["n_nationkey"]: n["n_name"]
+        for n in tables["nation"]
+        if n["n_regionkey"] in region_keys
+    }
+    customers = {
+        c["c_custkey"]: c["c_nationkey"]
+        for c in tables["customer"]
+        if c["c_nationkey"] in nations
+    }
+    suppliers = {
+        s["s_suppkey"]: s["s_nationkey"]
+        for s in tables["supplier"]
+        if s["s_nationkey"] in nations
+    }
+    orders = {
+        o["o_orderkey"]: o["o_custkey"]
+        for o in tables["orders"]
+        if Q05_DATE_LO <= o["o_orderdate"] < Q05_DATE_HI
+        and o["o_custkey"] in customers
+    }
+    revenue: dict = defaultdict(float)
+    for li in tables["lineitem"]:
+        custkey = orders.get(li["l_orderkey"])
+        if custkey is None:
+            continue
+        supp_nation = suppliers.get(li["l_suppkey"])
+        if supp_nation is None:
+            continue
+        # "local supplier": customer and supplier share the nation.
+        if supp_nation == customers[custkey]:
+            revenue[nations[supp_nation]] += _revenue(li)
+    out = [
+        {"n_name": name, "revenue": _round(total)}
+        for name, total in revenue.items()
+    ]
+    out.sort(key=lambda r: -r["revenue"])
+    return out
+
+
+def ref_q10(tables: dict) -> list[dict]:
+    orders = {
+        o["o_orderkey"]: o["o_custkey"]
+        for o in tables["orders"]
+        if Q10_DATE_LO <= o["o_orderdate"] < Q10_DATE_HI
+    }
+    revenue: dict = defaultdict(float)
+    for li in tables["lineitem"]:
+        if li["l_returnflag"] == "R" and li["l_orderkey"] in orders:
+            revenue[orders[li["l_orderkey"]]] += _revenue(li)
+    nations = {n["n_nationkey"]: n["n_name"] for n in tables["nation"]}
+    customers = {c["c_custkey"]: c for c in tables["customer"]}
+    out = []
+    for custkey, total in revenue.items():
+        customer = customers[custkey]
+        out.append(
+            {
+                "c_custkey": custkey,
+                "c_name": customer["c_name"],
+                "revenue": _round(total),
+                "c_acctbal": customer["c_acctbal"],
+                "n_name": nations[customer["c_nationkey"]],
+            }
+        )
+    out.sort(key=lambda r: (-r["revenue"], r["c_custkey"]))
+    return out[:20]
+
+
+def ref_q18(tables: dict) -> list[dict]:
+    quantity: dict = defaultdict(float)
+    for li in tables["lineitem"]:
+        quantity[li["l_orderkey"]] += li["l_quantity"]
+    big = {k for k, q in quantity.items() if q > Q18_QUANTITY}
+    customers = {c["c_custkey"]: c["c_name"] for c in tables["customer"]}
+    out = []
+    for order in tables["orders"]:
+        if order["o_orderkey"] in big:
+            out.append(
+                {
+                    "c_name": customers[order["o_custkey"]],
+                    "c_custkey": order["o_custkey"],
+                    "o_orderkey": order["o_orderkey"],
+                    "o_orderdate": order["o_orderdate"],
+                    "o_totalprice": order["o_totalprice"],
+                    "sum_qty": _round(quantity[order["o_orderkey"]]),
+                }
+            )
+    out.sort(key=lambda r: (-r["o_totalprice"], r["o_orderdate"]))
+    return out[:100]
+
+
+def _q19_match(li: dict, part: dict) -> bool:
+    if li["l_shipmode"] not in ("AIR", "REG AIR"):
+        return False
+    if li["l_shipinstruct"] != "DELIVER IN PERSON":
+        return False
+    brand, container, qty, size = (
+        part["p_brand"], part["p_container"], li["l_quantity"], part["p_size"]
+    )
+    if (
+        brand == Q19_BRAND1
+        and container.split()[0] == "SM"
+        and 1 <= qty <= 11
+        and 1 <= size <= 5
+    ):
+        return True
+    if (
+        brand == Q19_BRAND2
+        and container.split()[0] == "MED"
+        and 10 <= qty <= 20
+        and 1 <= size <= 10
+    ):
+        return True
+    if (
+        brand == Q19_BRAND3
+        and container.split()[0] in ("LG", "JUMBO")
+        and 20 <= qty <= 30
+        and 1 <= size <= 15
+    ):
+        return True
+    return False
+
+
+def ref_q19(tables: dict) -> list[dict]:
+    parts = {p["p_partkey"]: p for p in tables["part"]}
+    revenue = 0.0
+    for li in tables["lineitem"]:
+        if _q19_match(li, parts[li["l_partkey"]]):
+            revenue += _revenue(li)
+    return [{"revenue": _round(revenue)}]
+
+
+# ----------------------------------------------------------------------
+# plan implementations
+# ----------------------------------------------------------------------
+
+def run_q03(scheduler: "QueryScheduler") -> list[dict]:
+    buyers = ScanNode("customer").filter(
+        lambda c: c["c_mktsegment"] == Q03_SEGMENT
+    )
+    open_orders = (
+        ScanNode("orders")
+        .filter(lambda o: o["o_orderdate"] < Q03_DATE)
+        .join(
+            buyers,
+            left_key=lambda o: o["o_custkey"],
+            right_key=lambda c: c["c_custkey"],
+            merge=lambda o, c: o,
+            left_key_name="o_custkey",
+            right_key_name="c_custkey",
+            how="left_semi",
+        )
+    )
+    plan = (
+        ScanNode("lineitem")
+        .filter(lambda li: li["l_shipdate"] > Q03_DATE)
+        .join(
+            open_orders,
+            left_key=lambda li: li["l_orderkey"],
+            right_key=lambda o: o["o_orderkey"],
+            merge=lambda li, o: {
+                "l_orderkey": li["l_orderkey"],
+                "rev": _revenue(li),
+                "o_orderdate": o["o_orderdate"],
+                "o_shippriority": o["o_shippriority"],
+            },
+            left_key_name="l_orderkey",
+            right_key_name="o_orderkey",
+        )
+        .aggregate(
+            key_fn=lambda r: (r["l_orderkey"], r["o_orderdate"], r["o_shippriority"]),
+            seed_fn=lambda r: r["rev"],
+            merge_fn=lambda a, b: a + b,
+            final_fn=lambda key, total: {
+                "l_orderkey": key[0],
+                "revenue": _round(total),
+                "o_orderdate": key[1],
+                "o_shippriority": key[2],
+            },
+        )
+        .order_by(lambda r: (-r["revenue"], r["o_orderdate"], r["l_orderkey"]))
+        .limit(10)
+    )
+    return scheduler.execute(plan)
+
+
+def run_q05(scheduler: "QueryScheduler") -> list[dict]:
+    region_f = ScanNode("region").filter(lambda r: r["r_name"] == Q05_REGION)
+    nation_r = ScanNode("nation").join(
+        region_f,
+        left_key=lambda n: n["n_regionkey"],
+        right_key=lambda r: r["r_regionkey"],
+        merge=lambda n, r: n,
+    )
+    cust_r = ScanNode("customer").join(
+        nation_r,
+        left_key=lambda c: c["c_nationkey"],
+        right_key=lambda n: n["n_nationkey"],
+        merge=lambda c, n: {"c_custkey": c["c_custkey"],
+                            "c_nationkey": c["c_nationkey"]},
+    )
+    supp_r = ScanNode("supplier").join(
+        nation_r,
+        left_key=lambda s: s["s_nationkey"],
+        right_key=lambda n: n["n_nationkey"],
+        merge=lambda s, n: {"s_suppkey": s["s_suppkey"],
+                            "s_nationkey": s["s_nationkey"],
+                            "n_name": n["n_name"]},
+    )
+    orders_f = (
+        ScanNode("orders")
+        .filter(lambda o: Q05_DATE_LO <= o["o_orderdate"] < Q05_DATE_HI)
+        .join(
+            cust_r,
+            left_key=lambda o: o["o_custkey"],
+            right_key=lambda c: c["c_custkey"],
+            merge=lambda o, c: {"o_orderkey": o["o_orderkey"],
+                                "c_nationkey": c["c_nationkey"]},
+            left_key_name="o_custkey",
+            right_key_name="c_custkey",
+        )
+    )
+    plan = (
+        ScanNode("lineitem")
+        .join(
+            orders_f,
+            left_key=lambda li: li["l_orderkey"],
+            right_key=lambda o: o["o_orderkey"],
+            merge=lambda li, o: {**li, "c_nationkey": o["c_nationkey"]},
+            left_key_name="l_orderkey",
+            right_key_name="o_orderkey",
+        )
+        .join(
+            supp_r,
+            left_key=lambda r: r["l_suppkey"],
+            right_key=lambda s: s["s_suppkey"],
+            merge=lambda r, s: {**r, "s_nationkey": s["s_nationkey"],
+                                "n_name": s["n_name"]},
+        )
+        .filter(lambda r: r["s_nationkey"] == r["c_nationkey"])
+        .aggregate(
+            key_fn=lambda r: r["n_name"],
+            seed_fn=_revenue,
+            merge_fn=lambda a, b: a + b,
+            final_fn=lambda name, total: {
+                "n_name": name, "revenue": _round(total)
+            },
+        )
+        .order_by(lambda r: -r["revenue"])
+    )
+    return scheduler.execute(plan)
+
+
+def run_q10(scheduler: "QueryScheduler") -> list[dict]:
+    orders_f = ScanNode("orders").filter(
+        lambda o: Q10_DATE_LO <= o["o_orderdate"] < Q10_DATE_HI
+    )
+    per_customer = (
+        ScanNode("lineitem")
+        .filter(lambda li: li["l_returnflag"] == "R")
+        .join(
+            orders_f,
+            left_key=lambda li: li["l_orderkey"],
+            right_key=lambda o: o["o_orderkey"],
+            merge=lambda li, o: {"c_custkey": o["o_custkey"], "rev": _revenue(li)},
+            left_key_name="l_orderkey",
+            right_key_name="o_orderkey",
+        )
+        .aggregate(
+            key_fn=lambda r: r["c_custkey"],
+            seed_fn=lambda r: r["rev"],
+            merge_fn=lambda a, b: a + b,
+            final_fn=lambda custkey, total: {
+                "c_custkey": custkey, "revenue": _round(total)
+            },
+        )
+    )
+    nation_names = ScanNode("nation").map(
+        lambda n: {"n_nationkey": n["n_nationkey"], "n_name": n["n_name"]}
+    )
+    cust_full = ScanNode("customer").join(
+        nation_names,
+        left_key=lambda c: c["c_nationkey"],
+        right_key=lambda n: n["n_nationkey"],
+        merge=lambda c, n: {**c, "n_name": n["n_name"]},
+    )
+    plan = (
+        per_customer.join(
+            cust_full,
+            left_key=lambda r: r["c_custkey"],
+            right_key=lambda c: c["c_custkey"],
+            merge=lambda r, c: {
+                "c_custkey": r["c_custkey"],
+                "c_name": c["c_name"],
+                "revenue": r["revenue"],
+                "c_acctbal": c["c_acctbal"],
+                "n_name": c["n_name"],
+            },
+        )
+        .order_by(lambda r: (-r["revenue"], r["c_custkey"]))
+        .limit(20)
+    )
+    return scheduler.execute(plan)
+
+
+def run_q18(scheduler: "QueryScheduler") -> list[dict]:
+    big_orders = (
+        ScanNode("lineitem")
+        .aggregate(
+            key_fn=lambda li: li["l_orderkey"],
+            seed_fn=lambda li: li["l_quantity"],
+            merge_fn=lambda a, b: a + b,
+            final_fn=lambda orderkey, qty: {"b_orderkey": orderkey, "qty": qty},
+        )
+        .filter(lambda r: r["qty"] > Q18_QUANTITY)
+    )
+    cust_names = ScanNode("customer").map(
+        lambda c: {"c_custkey": c["c_custkey"], "c_name": c["c_name"]}
+    )
+    plan = (
+        ScanNode("orders")
+        .join(
+            big_orders,
+            left_key=lambda o: o["o_orderkey"],
+            right_key=lambda r: r["b_orderkey"],
+            merge=lambda o, r: {**o, "sum_qty": _round(r["qty"])},
+        )
+        .join(
+            cust_names,
+            left_key=lambda o: o["o_custkey"],
+            right_key=lambda c: c["c_custkey"],
+            merge=lambda o, c: {
+                "c_name": c["c_name"],
+                "c_custkey": o["o_custkey"],
+                "o_orderkey": o["o_orderkey"],
+                "o_orderdate": o["o_orderdate"],
+                "o_totalprice": o["o_totalprice"],
+                "sum_qty": o["sum_qty"],
+            },
+        )
+        .order_by(lambda r: (-r["o_totalprice"], r["o_orderdate"]))
+        .limit(100)
+    )
+    return scheduler.execute(plan)
+
+
+def run_q19(scheduler: "QueryScheduler") -> list[dict]:
+    plan = (
+        ScanNode("lineitem")
+        .filter(
+            lambda li: li["l_shipmode"] in ("AIR", "REG AIR")
+            and li["l_shipinstruct"] == "DELIVER IN PERSON"
+        )
+        .join(
+            ScanNode("part"),
+            left_key=lambda li: li["l_partkey"],
+            right_key=lambda p: p["p_partkey"],
+            merge=lambda li, p: {"li": li, "p": p},
+            left_key_name="l_partkey",
+            right_key_name="p_partkey",
+        )
+        .filter(lambda r: _q19_match(r["li"], r["p"]))
+        .aggregate(
+            key_fn=lambda r: 0,
+            seed_fn=lambda r: _revenue(r["li"]),
+            merge_fn=lambda a, b: a + b,
+            final_fn=lambda key, total: {"revenue": _round(total)},
+        )
+    )
+    result = scheduler.execute(plan)
+    return result if result else [{"revenue": 0.0}]
+
+
+EXTRA_QUERIES = {
+    "Q03": run_q03,
+    "Q05": run_q05,
+    "Q10": run_q10,
+    "Q18": run_q18,
+    "Q19": run_q19,
+}
+
+EXTRA_REFERENCE_QUERIES = {
+    "Q03": ref_q03,
+    "Q05": ref_q05,
+    "Q10": ref_q10,
+    "Q18": ref_q18,
+    "Q19": ref_q19,
+}

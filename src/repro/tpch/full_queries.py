@@ -1,0 +1,820 @@
+"""The remaining eight TPC-H queries: full 22-query coverage.
+
+Q07 Q08 Q09 Q11 Q15 Q16 Q20 Q21 complete the suite beyond the paper's
+nine and the first five extensions.  They exercise nation-pair joins,
+market-share cases, composite join keys (partkey, suppkey), scalar
+subqueries, count-distinct, and Q21's exists/not-exists correlation —
+all expressed on the Pangea query processor.
+
+As elsewhere, each query has a reference oracle and a plan
+implementation returning identical rows.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import defaultdict
+from datetime import date
+
+from repro.query.operators import ScanNode
+from repro.tpch.schema import d
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.query.scheduler import QueryScheduler
+
+Q07_NATION_A = "FRANCE"
+Q07_NATION_B = "GERMANY"
+Q07_DATE_LO = d(1995, 1, 1)
+Q07_DATE_HI = d(1997, 1, 1)
+Q08_REGION = "AMERICA"
+Q08_NATION = "BRAZIL"
+Q08_TYPE = "ECONOMY ANODIZED STEEL"
+Q08_DATE_LO = d(1995, 1, 1)
+Q08_DATE_HI = d(1997, 1, 1)
+Q09_COLOR = "green"
+Q11_NATION = "GERMANY"
+Q11_FRACTION = 0.01  # simplified from 0.0001/SF so small scales qualify
+Q15_DATE_LO = d(1996, 1, 1)
+Q15_DATE_HI = d(1996, 4, 1)
+Q16_BRAND = "Brand#45"
+Q16_TYPE_PREFIX = "MEDIUM POLISHED"
+Q16_SIZES = (49, 14, 23, 45, 19, 3, 36, 9)
+Q20_COLOR_PREFIX = "forest"
+Q20_DATE_LO = d(1994, 1, 1)
+Q20_DATE_HI = d(1995, 1, 1)
+Q20_NATION = "CANADA"
+Q21_NATION = "SAUDI ARABIA"
+
+
+def _round(value: float, digits: int = 2) -> float:
+    return round(value, digits)
+
+
+def _revenue(li: dict) -> float:
+    return li["l_extendedprice"] * (1 - li["l_discount"])
+
+
+def _year(ordinal: int) -> int:
+    return date.fromordinal(ordinal).year
+
+
+# ----------------------------------------------------------------------
+# reference implementations
+# ----------------------------------------------------------------------
+
+def ref_q07(tables: dict) -> list[dict]:
+    nation_name = {n["n_nationkey"]: n["n_name"] for n in tables["nation"]}
+    supp_nation = {
+        s["s_suppkey"]: nation_name[s["s_nationkey"]] for s in tables["supplier"]
+    }
+    cust_nation = {
+        c["c_custkey"]: nation_name[c["c_nationkey"]] for c in tables["customer"]
+    }
+    order_cust = {o["o_orderkey"]: o["o_custkey"] for o in tables["orders"]}
+    pair = {Q07_NATION_A, Q07_NATION_B}
+    groups: dict = defaultdict(float)
+    for li in tables["lineitem"]:
+        if not (Q07_DATE_LO <= li["l_shipdate"] < Q07_DATE_HI):
+            continue
+        sn = supp_nation[li["l_suppkey"]]
+        cn = cust_nation[order_cust[li["l_orderkey"]]]
+        if sn in pair and cn in pair and sn != cn:
+            groups[(sn, cn, _year(li["l_shipdate"]))] += _revenue(li)
+    out = [
+        {"supp_nation": sn, "cust_nation": cn, "l_year": year,
+         "revenue": _round(total)}
+        for (sn, cn, year), total in groups.items()
+    ]
+    out.sort(key=lambda r: (r["supp_nation"], r["cust_nation"], r["l_year"]))
+    return out
+
+
+def ref_q08(tables: dict) -> list[dict]:
+    region_keys = {
+        r["r_regionkey"] for r in tables["region"] if r["r_name"] == Q08_REGION
+    }
+    nation_name = {n["n_nationkey"]: n["n_name"] for n in tables["nation"]}
+    nations_in_region = {
+        n["n_nationkey"] for n in tables["nation"]
+        if n["n_regionkey"] in region_keys
+    }
+    customers = {
+        c["c_custkey"] for c in tables["customer"]
+        if c["c_nationkey"] in nations_in_region
+    }
+    orders = {
+        o["o_orderkey"]: o
+        for o in tables["orders"]
+        if Q08_DATE_LO <= o["o_orderdate"] < Q08_DATE_HI
+        and o["o_custkey"] in customers
+    }
+    parts = {
+        p["p_partkey"] for p in tables["part"] if p["p_type"] == Q08_TYPE
+    }
+    supp_nation = {
+        s["s_suppkey"]: nation_name[s["s_nationkey"]] for s in tables["supplier"]
+    }
+    per_year: dict = defaultdict(lambda: [0.0, 0.0])
+    for li in tables["lineitem"]:
+        order = orders.get(li["l_orderkey"])
+        if order is None or li["l_partkey"] not in parts:
+            continue
+        volume = _revenue(li)
+        acc = per_year[_year(order["o_orderdate"])]
+        acc[1] += volume
+        if supp_nation[li["l_suppkey"]] == Q08_NATION:
+            acc[0] += volume
+    out = [
+        {"o_year": year, "mkt_share": _round(acc[0] / acc[1], 4) if acc[1] else 0.0}
+        for year, acc in per_year.items()
+    ]
+    out.sort(key=lambda r: r["o_year"])
+    return out
+
+
+def ref_q09(tables: dict) -> list[dict]:
+    nation_name = {n["n_nationkey"]: n["n_name"] for n in tables["nation"]}
+    supp_nation = {
+        s["s_suppkey"]: nation_name[s["s_nationkey"]] for s in tables["supplier"]
+    }
+    parts = {
+        p["p_partkey"] for p in tables["part"] if Q09_COLOR in p["p_name"]
+    }
+    cost = {
+        (ps["ps_partkey"], ps["ps_suppkey"]): ps["ps_supplycost"]
+        for ps in tables["partsupp"]
+    }
+    order_year = {o["o_orderkey"]: _year(o["o_orderdate"]) for o in tables["orders"]}
+    groups: dict = defaultdict(float)
+    for li in tables["lineitem"]:
+        if li["l_partkey"] not in parts:
+            continue
+        supplycost = cost[(li["l_partkey"], li["l_suppkey"])]
+        profit = _revenue(li) - supplycost * li["l_quantity"]
+        key = (supp_nation[li["l_suppkey"]], order_year[li["l_orderkey"]])
+        groups[key] += profit
+    out = [
+        {"nation": nation, "o_year": year, "sum_profit": _round(total)}
+        for (nation, year), total in groups.items()
+    ]
+    out.sort(key=lambda r: (r["nation"], -r["o_year"]))
+    return out
+
+
+def ref_q11(tables: dict) -> list[dict]:
+    nation_keys = {
+        n["n_nationkey"] for n in tables["nation"] if n["n_name"] == Q11_NATION
+    }
+    suppliers = {
+        s["s_suppkey"] for s in tables["supplier"]
+        if s["s_nationkey"] in nation_keys
+    }
+    value: dict = defaultdict(float)
+    total = 0.0
+    for ps in tables["partsupp"]:
+        if ps["ps_suppkey"] in suppliers:
+            v = ps["ps_supplycost"] * ps["ps_availqty"]
+            value[ps["ps_partkey"]] += v
+            total += v
+    threshold = total * Q11_FRACTION
+    out = [
+        {"ps_partkey": partkey, "value": _round(v)}
+        for partkey, v in value.items()
+        if v > threshold
+    ]
+    out.sort(key=lambda r: (-r["value"], r["ps_partkey"]))
+    return out
+
+
+def ref_q15(tables: dict) -> list[dict]:
+    revenue: dict = defaultdict(float)
+    for li in tables["lineitem"]:
+        if Q15_DATE_LO <= li["l_shipdate"] < Q15_DATE_HI:
+            revenue[li["l_suppkey"]] += _revenue(li)
+    if not revenue:
+        return []
+    best = max(revenue.values())
+    suppliers = {s["s_suppkey"]: s for s in tables["supplier"]}
+    out = []
+    for suppkey, total in revenue.items():
+        if abs(total - best) < 1e-6:
+            supplier = suppliers[suppkey]
+            out.append(
+                {
+                    "s_suppkey": suppkey,
+                    "s_name": supplier["s_name"],
+                    "s_address": supplier["s_address"],
+                    "s_phone": supplier["s_phone"],
+                    "total_revenue": _round(total),
+                }
+            )
+    out.sort(key=lambda r: r["s_suppkey"])
+    return out
+
+
+def ref_q16(tables: dict) -> list[dict]:
+    complainers = {
+        s["s_suppkey"] for s in tables["supplier"]
+        if "Customer Complaints" in s["s_comment"]
+    }
+    parts = {
+        p["p_partkey"]: p
+        for p in tables["part"]
+        if p["p_brand"] != Q16_BRAND
+        and not p["p_type"].startswith(Q16_TYPE_PREFIX)
+        and p["p_size"] in Q16_SIZES
+    }
+    groups: dict = defaultdict(set)
+    for ps in tables["partsupp"]:
+        part = parts.get(ps["ps_partkey"])
+        if part is None or ps["ps_suppkey"] in complainers:
+            continue
+        groups[(part["p_brand"], part["p_type"], part["p_size"])].add(
+            ps["ps_suppkey"]
+        )
+    out = [
+        {"p_brand": brand, "p_type": ptype, "p_size": size,
+         "supplier_cnt": len(supps)}
+        for (brand, ptype, size), supps in groups.items()
+    ]
+    out.sort(
+        key=lambda r: (-r["supplier_cnt"], r["p_brand"], r["p_type"], r["p_size"])
+    )
+    return out
+
+
+def ref_q20(tables: dict) -> list[dict]:
+    parts = {
+        p["p_partkey"] for p in tables["part"]
+        if p["p_name"].startswith(Q20_COLOR_PREFIX)
+    }
+    shipped: dict = defaultdict(float)
+    for li in tables["lineitem"]:
+        if li["l_partkey"] in parts and Q20_DATE_LO <= li["l_shipdate"] < Q20_DATE_HI:
+            shipped[(li["l_partkey"], li["l_suppkey"])] += li["l_quantity"]
+    qualified_suppliers = set()
+    for ps in tables["partsupp"]:
+        key = (ps["ps_partkey"], ps["ps_suppkey"])
+        if ps["ps_partkey"] in parts and ps["ps_availqty"] > 0.5 * shipped.get(key, 0.0) and shipped.get(key, 0.0) > 0:
+            qualified_suppliers.add(ps["ps_suppkey"])
+    nation_keys = {
+        n["n_nationkey"] for n in tables["nation"] if n["n_name"] == Q20_NATION
+    }
+    out = [
+        {"s_name": s["s_name"], "s_address": s["s_address"]}
+        for s in tables["supplier"]
+        if s["s_suppkey"] in qualified_suppliers
+        and s["s_nationkey"] in nation_keys
+    ]
+    out.sort(key=lambda r: r["s_name"])
+    return out
+
+
+def ref_q21(tables: dict) -> list[dict]:
+    nation_keys = {
+        n["n_nationkey"] for n in tables["nation"] if n["n_name"] == Q21_NATION
+    }
+    target_suppliers = {
+        s["s_suppkey"]: s["s_name"]
+        for s in tables["supplier"]
+        if s["s_nationkey"] in nation_keys
+    }
+    f_orders = {
+        o["o_orderkey"] for o in tables["orders"] if o["o_orderstatus"] == "F"
+    }
+    suppliers_of_order: dict = defaultdict(set)
+    late_suppliers_of_order: dict = defaultdict(set)
+    for li in tables["lineitem"]:
+        suppliers_of_order[li["l_orderkey"]].add(li["l_suppkey"])
+        if li["l_receiptdate"] > li["l_commitdate"]:
+            late_suppliers_of_order[li["l_orderkey"]].add(li["l_suppkey"])
+    waits: dict = defaultdict(int)
+    for li in tables["lineitem"]:
+        suppkey = li["l_suppkey"]
+        orderkey = li["l_orderkey"]
+        if suppkey not in target_suppliers:
+            continue
+        if li["l_receiptdate"] <= li["l_commitdate"]:
+            continue
+        if orderkey not in f_orders:
+            continue
+        others = suppliers_of_order[orderkey] - {suppkey}
+        if not others:
+            continue  # no other supplier on the order
+        if late_suppliers_of_order[orderkey] - {suppkey}:
+            continue  # another supplier was also late
+        waits[target_suppliers[suppkey]] += 1
+    out = [{"s_name": name, "numwait": count} for name, count in waits.items()]
+    out.sort(key=lambda r: (-r["numwait"], r["s_name"]))
+    return out[:100]
+
+
+# ----------------------------------------------------------------------
+# plan implementations
+# ----------------------------------------------------------------------
+
+def _nation_names():
+    return ScanNode("nation").map(
+        lambda n: {"n_nationkey": n["n_nationkey"], "n_name": n["n_name"]}
+    )
+
+
+def run_q07(scheduler: "QueryScheduler") -> list[dict]:
+    pair = {Q07_NATION_A, Q07_NATION_B}
+    nations = _nation_names().filter(lambda n: n["n_name"] in pair)
+    supp_n = ScanNode("supplier").join(
+        nations,
+        left_key=lambda s: s["s_nationkey"],
+        right_key=lambda n: n["n_nationkey"],
+        merge=lambda s, n: {"s_suppkey": s["s_suppkey"], "supp_nation": n["n_name"]},
+    )
+    cust_n = ScanNode("customer").join(
+        nations,
+        left_key=lambda c: c["c_nationkey"],
+        right_key=lambda n: n["n_nationkey"],
+        merge=lambda c, n: {"c_custkey": c["c_custkey"], "cust_nation": n["n_name"]},
+    )
+    orders_c = ScanNode("orders").join(
+        cust_n,
+        left_key=lambda o: o["o_custkey"],
+        right_key=lambda c: c["c_custkey"],
+        merge=lambda o, c: {"o_orderkey": o["o_orderkey"],
+                            "cust_nation": c["cust_nation"]},
+        left_key_name="o_custkey",
+        right_key_name="c_custkey",
+    )
+    plan = (
+        ScanNode("lineitem")
+        .filter(lambda li: Q07_DATE_LO <= li["l_shipdate"] < Q07_DATE_HI)
+        .join(
+            orders_c,
+            left_key=lambda li: li["l_orderkey"],
+            right_key=lambda o: o["o_orderkey"],
+            merge=lambda li, o: {**li, "cust_nation": o["cust_nation"]},
+            left_key_name="l_orderkey",
+            right_key_name="o_orderkey",
+        )
+        .join(
+            supp_n,
+            left_key=lambda r: r["l_suppkey"],
+            right_key=lambda s: s["s_suppkey"],
+            merge=lambda r, s: {**r, "supp_nation": s["supp_nation"]},
+        )
+        .filter(lambda r: r["supp_nation"] != r["cust_nation"])
+        .aggregate(
+            key_fn=lambda r: (
+                r["supp_nation"], r["cust_nation"], _year(r["l_shipdate"])
+            ),
+            seed_fn=_revenue,
+            merge_fn=lambda a, b: a + b,
+            final_fn=lambda key, total: {
+                "supp_nation": key[0],
+                "cust_nation": key[1],
+                "l_year": key[2],
+                "revenue": _round(total),
+            },
+        )
+        .order_by(lambda r: (r["supp_nation"], r["cust_nation"], r["l_year"]))
+    )
+    return scheduler.execute(plan)
+
+
+def run_q08(scheduler: "QueryScheduler") -> list[dict]:
+    region_f = ScanNode("region").filter(lambda r: r["r_name"] == Q08_REGION)
+    nations_r = ScanNode("nation").join(
+        region_f,
+        left_key=lambda n: n["n_regionkey"],
+        right_key=lambda r: r["r_regionkey"],
+        merge=lambda n, r: n,
+    )
+    customers_r = ScanNode("customer").join(
+        nations_r,
+        left_key=lambda c: c["c_nationkey"],
+        right_key=lambda n: n["n_nationkey"],
+        merge=lambda c, n: {"c_custkey": c["c_custkey"]},
+    )
+    orders_f = (
+        ScanNode("orders")
+        .filter(lambda o: Q08_DATE_LO <= o["o_orderdate"] < Q08_DATE_HI)
+        .join(
+            customers_r,
+            left_key=lambda o: o["o_custkey"],
+            right_key=lambda c: c["c_custkey"],
+            merge=lambda o, c: {"o_orderkey": o["o_orderkey"],
+                                "o_year": _year(o["o_orderdate"])},
+            left_key_name="o_custkey",
+            right_key_name="c_custkey",
+        )
+    )
+    part_f = ScanNode("part").filter(lambda p: p["p_type"] == Q08_TYPE)
+    supp_n = ScanNode("supplier").join(
+        _nation_names(),
+        left_key=lambda s: s["s_nationkey"],
+        right_key=lambda n: n["n_nationkey"],
+        merge=lambda s, n: {"s_suppkey": s["s_suppkey"], "nation": n["n_name"]},
+    )
+    plan = (
+        ScanNode("lineitem")
+        .join(
+            part_f,
+            left_key=lambda li: li["l_partkey"],
+            right_key=lambda p: p["p_partkey"],
+            merge=lambda li, p: li,
+            left_key_name="l_partkey",
+            right_key_name="p_partkey",
+        )
+        .join(
+            orders_f,
+            left_key=lambda li: li["l_orderkey"],
+            right_key=lambda o: o["o_orderkey"],
+            merge=lambda li, o: {**li, "o_year": o["o_year"]},
+            left_key_name="l_orderkey",
+            right_key_name="o_orderkey",
+        )
+        .join(
+            supp_n,
+            left_key=lambda r: r["l_suppkey"],
+            right_key=lambda s: s["s_suppkey"],
+            merge=lambda r, s: {
+                "o_year": r["o_year"],
+                "volume": _revenue(r),
+                "is_target": s["nation"] == Q08_NATION,
+            },
+        )
+        .aggregate(
+            key_fn=lambda r: r["o_year"],
+            seed_fn=lambda r: (r["volume"] if r["is_target"] else 0.0, r["volume"]),
+            merge_fn=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+            final_fn=lambda year, acc: {
+                "o_year": year,
+                "mkt_share": _round(acc[0] / acc[1], 4) if acc[1] else 0.0,
+            },
+        )
+        .order_by(lambda r: r["o_year"])
+    )
+    return scheduler.execute(plan)
+
+
+def run_q09(scheduler: "QueryScheduler") -> list[dict]:
+    part_f = ScanNode("part").filter(lambda p: Q09_COLOR in p["p_name"])
+    supp_n = ScanNode("supplier").join(
+        _nation_names(),
+        left_key=lambda s: s["s_nationkey"],
+        right_key=lambda n: n["n_nationkey"],
+        merge=lambda s, n: {"s_suppkey": s["s_suppkey"], "nation": n["n_name"]},
+    )
+    order_years = ScanNode("orders").map(
+        lambda o: {"o_orderkey": o["o_orderkey"], "o_year": _year(o["o_orderdate"])}
+    )
+    plan = (
+        ScanNode("lineitem")
+        .join(
+            part_f,
+            left_key=lambda li: li["l_partkey"],
+            right_key=lambda p: p["p_partkey"],
+            merge=lambda li, p: li,
+            left_key_name="l_partkey",
+            right_key_name="p_partkey",
+        )
+        .join(
+            ScanNode("partsupp"),
+            left_key=lambda li: (li["l_partkey"], li["l_suppkey"]),
+            right_key=lambda ps: (ps["ps_partkey"], ps["ps_suppkey"]),
+            merge=lambda li, ps: {**li, "ps_supplycost": ps["ps_supplycost"]},
+        )
+        .join(
+            order_years,
+            left_key=lambda r: r["l_orderkey"],
+            right_key=lambda o: o["o_orderkey"],
+            merge=lambda r, o: {**r, "o_year": o["o_year"]},
+            left_key_name="l_orderkey",
+            right_key_name="o_orderkey",
+        )
+        .join(
+            supp_n,
+            left_key=lambda r: r["l_suppkey"],
+            right_key=lambda s: s["s_suppkey"],
+            merge=lambda r, s: {
+                "nation": s["nation"],
+                "o_year": r["o_year"],
+                "profit": _revenue(r) - r["ps_supplycost"] * r["l_quantity"],
+            },
+        )
+        .aggregate(
+            key_fn=lambda r: (r["nation"], r["o_year"]),
+            seed_fn=lambda r: r["profit"],
+            merge_fn=lambda a, b: a + b,
+            final_fn=lambda key, total: {
+                "nation": key[0],
+                "o_year": key[1],
+                "sum_profit": _round(total),
+            },
+        )
+        .order_by(lambda r: (r["nation"], -r["o_year"]))
+    )
+    return scheduler.execute(plan)
+
+
+def _q11_values():
+    nation_f = ScanNode("nation").filter(lambda n: n["n_name"] == Q11_NATION)
+    supp_f = ScanNode("supplier").join(
+        nation_f,
+        left_key=lambda s: s["s_nationkey"],
+        right_key=lambda n: n["n_nationkey"],
+        merge=lambda s, n: {"s_suppkey": s["s_suppkey"]},
+    )
+    return ScanNode("partsupp").join(
+        supp_f,
+        left_key=lambda ps: ps["ps_suppkey"],
+        right_key=lambda s: s["s_suppkey"],
+        merge=lambda ps, s: {
+            "ps_partkey": ps["ps_partkey"],
+            "value": ps["ps_supplycost"] * ps["ps_availqty"],
+        },
+    )
+
+
+def run_q11(scheduler: "QueryScheduler") -> list[dict]:
+    total_plan = _q11_values().aggregate(
+        key_fn=lambda r: 0,
+        seed_fn=lambda r: r["value"],
+        merge_fn=lambda a, b: a + b,
+        final_fn=lambda key, total: {"total": total},
+    )
+    scalar = scheduler.execute(total_plan)
+    threshold = (scalar[0]["total"] if scalar else 0.0) * Q11_FRACTION
+    plan = (
+        _q11_values()
+        .aggregate(
+            key_fn=lambda r: r["ps_partkey"],
+            seed_fn=lambda r: r["value"],
+            merge_fn=lambda a, b: a + b,
+            final_fn=lambda partkey, value: {
+                "ps_partkey": partkey, "value": _round(value), "raw": value
+            },
+        )
+        .filter(lambda r: r["raw"] > threshold)
+        .map(lambda r: {"ps_partkey": r["ps_partkey"], "value": r["value"]})
+        .order_by(lambda r: (-r["value"], r["ps_partkey"]))
+    )
+    return scheduler.execute(plan)
+
+
+def _q15_revenue():
+    return (
+        ScanNode("lineitem")
+        .filter(lambda li: Q15_DATE_LO <= li["l_shipdate"] < Q15_DATE_HI)
+        .aggregate(
+            key_fn=lambda li: li["l_suppkey"],
+            seed_fn=_revenue,
+            merge_fn=lambda a, b: a + b,
+            final_fn=lambda suppkey, total: {
+                "r_suppkey": suppkey, "total_revenue": total
+            },
+        )
+    )
+
+
+def run_q15(scheduler: "QueryScheduler") -> list[dict]:
+    max_plan = _q15_revenue().aggregate(
+        key_fn=lambda r: 0,
+        seed_fn=lambda r: r["total_revenue"],
+        merge_fn=max,
+        final_fn=lambda key, best: {"best": best},
+    )
+    scalar = scheduler.execute(max_plan)
+    if not scalar:
+        return []
+    best = scalar[0]["best"]
+    plan = (
+        _q15_revenue()
+        .filter(lambda r: abs(r["total_revenue"] - best) < 1e-6)
+        .join(
+            ScanNode("supplier"),
+            left_key=lambda r: r["r_suppkey"],
+            right_key=lambda s: s["s_suppkey"],
+            merge=lambda r, s: {
+                "s_suppkey": s["s_suppkey"],
+                "s_name": s["s_name"],
+                "s_address": s["s_address"],
+                "s_phone": s["s_phone"],
+                "total_revenue": _round(r["total_revenue"]),
+            },
+        )
+        .order_by(lambda r: r["s_suppkey"])
+    )
+    return scheduler.execute(plan)
+
+
+def run_q16(scheduler: "QueryScheduler") -> list[dict]:
+    part_f = ScanNode("part").filter(
+        lambda p: p["p_brand"] != Q16_BRAND
+        and not p["p_type"].startswith(Q16_TYPE_PREFIX)
+        and p["p_size"] in Q16_SIZES
+    )
+    complainers = ScanNode("supplier").filter(
+        lambda s: "Customer Complaints" in s["s_comment"]
+    )
+    plan = (
+        ScanNode("partsupp")
+        .join(
+            complainers,
+            left_key=lambda ps: ps["ps_suppkey"],
+            right_key=lambda s: s["s_suppkey"],
+            merge=lambda ps, s: ps,
+            how="left_anti",
+        )
+        .join(
+            part_f,
+            left_key=lambda ps: ps["ps_partkey"],
+            right_key=lambda p: p["p_partkey"],
+            merge=lambda ps, p: {
+                "p_brand": p["p_brand"],
+                "p_type": p["p_type"],
+                "p_size": p["p_size"],
+                "suppkey": ps["ps_suppkey"],
+            },
+            left_key_name="ps_partkey",
+            right_key_name="p_partkey",
+        )
+        # distinct (brand, type, size, suppkey), then count per group
+        .aggregate(
+            key_fn=lambda r: (r["p_brand"], r["p_type"], r["p_size"], r["suppkey"]),
+            seed_fn=lambda r: 1,
+            merge_fn=lambda a, b: a,
+            final_fn=lambda key, _one: {
+                "p_brand": key[0], "p_type": key[1], "p_size": key[2]
+            },
+        )
+        .aggregate(
+            key_fn=lambda r: (r["p_brand"], r["p_type"], r["p_size"]),
+            seed_fn=lambda r: 1,
+            merge_fn=lambda a, b: a + b,
+            final_fn=lambda key, count: {
+                "p_brand": key[0],
+                "p_type": key[1],
+                "p_size": key[2],
+                "supplier_cnt": count,
+            },
+        )
+        .order_by(
+            lambda r: (-r["supplier_cnt"], r["p_brand"], r["p_type"], r["p_size"])
+        )
+    )
+    return scheduler.execute(plan)
+
+
+def run_q20(scheduler: "QueryScheduler") -> list[dict]:
+    part_f = ScanNode("part").filter(
+        lambda p: p["p_name"].startswith(Q20_COLOR_PREFIX)
+    )
+    shipped = (
+        ScanNode("lineitem")
+        .filter(lambda li: Q20_DATE_LO <= li["l_shipdate"] < Q20_DATE_HI)
+        .join(
+            part_f,
+            left_key=lambda li: li["l_partkey"],
+            right_key=lambda p: p["p_partkey"],
+            merge=lambda li, p: li,
+            left_key_name="l_partkey",
+            right_key_name="p_partkey",
+        )
+        .aggregate(
+            key_fn=lambda li: (li["l_partkey"], li["l_suppkey"]),
+            seed_fn=lambda li: li["l_quantity"],
+            merge_fn=lambda a, b: a + b,
+            final_fn=lambda key, qty: {"sh_key": key, "qty": qty},
+        )
+    )
+    qualified = (
+        ScanNode("partsupp")
+        .join(
+            shipped,
+            left_key=lambda ps: (ps["ps_partkey"], ps["ps_suppkey"]),
+            right_key=lambda r: r["sh_key"],
+            merge=lambda ps, r: {
+                "suppkey": ps["ps_suppkey"],
+                "ok": ps["ps_availqty"] > 0.5 * r["qty"],
+            },
+        )
+        .filter(lambda r: r["ok"])
+        .aggregate(
+            key_fn=lambda r: r["suppkey"],
+            seed_fn=lambda r: 1,
+            merge_fn=lambda a, b: a,
+            final_fn=lambda suppkey, _one: {"q_suppkey": suppkey},
+        )
+    )
+    nation_f = ScanNode("nation").filter(lambda n: n["n_name"] == Q20_NATION)
+    plan = (
+        ScanNode("supplier")
+        .join(
+            nation_f,
+            left_key=lambda s: s["s_nationkey"],
+            right_key=lambda n: n["n_nationkey"],
+            merge=lambda s, n: s,
+        )
+        .join(
+            qualified,
+            left_key=lambda s: s["s_suppkey"],
+            right_key=lambda r: r["q_suppkey"],
+            merge=lambda s, r: s,
+            how="left_semi",
+        )
+        .map(lambda s: {"s_name": s["s_name"], "s_address": s["s_address"]})
+        .order_by(lambda r: r["s_name"])
+    )
+    return scheduler.execute(plan)
+
+
+def run_q21(scheduler: "QueryScheduler") -> list[dict]:
+    # Per-order supplier sets (all suppliers, and late suppliers).
+    order_info = ScanNode("lineitem").aggregate(
+        key_fn=lambda li: li["l_orderkey"],
+        seed_fn=lambda li: (
+            frozenset((li["l_suppkey"],)),
+            frozenset((li["l_suppkey"],))
+            if li["l_receiptdate"] > li["l_commitdate"]
+            else frozenset(),
+        ),
+        merge_fn=lambda a, b: (a[0] | b[0], a[1] | b[1]),
+        final_fn=lambda orderkey, acc: {
+            "i_orderkey": orderkey,
+            "suppliers": acc[0],
+            "late": acc[1],
+        },
+    )
+    f_orders = ScanNode("orders").filter(lambda o: o["o_orderstatus"] == "F")
+    nation_f = ScanNode("nation").filter(lambda n: n["n_name"] == Q21_NATION)
+    target_suppliers = ScanNode("supplier").join(
+        nation_f,
+        left_key=lambda s: s["s_nationkey"],
+        right_key=lambda n: n["n_nationkey"],
+        merge=lambda s, n: {"s_suppkey": s["s_suppkey"], "s_name": s["s_name"]},
+    )
+    plan = (
+        ScanNode("lineitem")
+        .filter(lambda li: li["l_receiptdate"] > li["l_commitdate"])
+        .join(
+            target_suppliers,
+            left_key=lambda li: li["l_suppkey"],
+            right_key=lambda s: s["s_suppkey"],
+            merge=lambda li, s: {
+                "l_orderkey": li["l_orderkey"],
+                "l_suppkey": li["l_suppkey"],
+                "s_name": s["s_name"],
+            },
+        )
+        .join(
+            f_orders,
+            left_key=lambda r: r["l_orderkey"],
+            right_key=lambda o: o["o_orderkey"],
+            merge=lambda r, o: r,
+            left_key_name="l_orderkey",
+            right_key_name="o_orderkey",
+            how="left_semi",
+        )
+        .join(
+            order_info,
+            left_key=lambda r: r["l_orderkey"],
+            right_key=lambda i: i["i_orderkey"],
+            merge=lambda r, i: {
+                **r,
+                "others": len(i["suppliers"] - {r["l_suppkey"]}) > 0,
+                "other_late": len(i["late"] - {r["l_suppkey"]}) > 0,
+            },
+        )
+        .filter(lambda r: r["others"] and not r["other_late"])
+        .aggregate(
+            key_fn=lambda r: r["s_name"],
+            seed_fn=lambda r: 1,
+            merge_fn=lambda a, b: a + b,
+            final_fn=lambda name, count: {"s_name": name, "numwait": count},
+        )
+        .order_by(lambda r: (-r["numwait"], r["s_name"]))
+        .limit(100)
+    )
+    return scheduler.execute(plan)
+
+
+FULL_QUERIES = {
+    "Q07": run_q07,
+    "Q08": run_q08,
+    "Q09": run_q09,
+    "Q11": run_q11,
+    "Q15": run_q15,
+    "Q16": run_q16,
+    "Q20": run_q20,
+    "Q21": run_q21,
+}
+
+FULL_REFERENCE_QUERIES = {
+    "Q07": ref_q07,
+    "Q08": ref_q08,
+    "Q09": ref_q09,
+    "Q11": ref_q11,
+    "Q15": ref_q15,
+    "Q16": ref_q16,
+    "Q20": ref_q20,
+    "Q21": ref_q21,
+}

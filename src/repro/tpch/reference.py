@@ -1,0 +1,267 @@
+"""Pure-Python reference implementations of the nine TPC-H queries.
+
+These are the correctness oracle for the Pangea query processor (and for
+the Spark-baseline runner): each function takes the raw generated tables
+and returns the rows the distributed execution must match.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.tpch.schema import d
+
+Q01_SHIP_CUTOFF = d(1998, 9, 2)
+Q02_SIZE = 15
+Q02_TYPE_SUFFIX = "BRASS"
+Q02_REGION = "EUROPE"
+Q04_DATE_LO = d(1993, 7, 1)
+Q04_DATE_HI = d(1993, 10, 1)
+Q06_DATE_LO = d(1994, 1, 1)
+Q06_DATE_HI = d(1995, 1, 1)
+Q06_DISCOUNT_LO = 0.05
+Q06_DISCOUNT_HI = 0.07
+Q06_QUANTITY = 24
+Q12_MODES = ("MAIL", "SHIP")
+Q12_DATE_LO = d(1994, 1, 1)
+Q12_DATE_HI = d(1995, 1, 1)
+Q13_WORD1 = "special"
+Q13_WORD2 = "requests"
+Q14_DATE_LO = d(1995, 9, 1)
+Q14_DATE_HI = d(1995, 10, 1)
+Q17_BRAND = "Brand#23"
+Q17_CONTAINER = "MED BOX"
+Q22_CODES = ("13", "31", "23", "29", "30", "18", "17")
+
+
+def _round(value: float, digits: int = 2) -> float:
+    return round(value, digits)
+
+
+def q01(tables: dict) -> list[dict]:
+    groups: dict = {}
+    for li in tables["lineitem"]:
+        if li["l_shipdate"] > Q01_SHIP_CUTOFF:
+            continue
+        key = (li["l_returnflag"], li["l_linestatus"])
+        acc = groups.setdefault(
+            key, {"qty": 0.0, "base": 0.0, "disc": 0.0, "charge": 0.0,
+                  "discount": 0.0, "count": 0}
+        )
+        disc_price = li["l_extendedprice"] * (1 - li["l_discount"])
+        acc["qty"] += li["l_quantity"]
+        acc["base"] += li["l_extendedprice"]
+        acc["disc"] += disc_price
+        acc["charge"] += disc_price * (1 + li["l_tax"])
+        acc["discount"] += li["l_discount"]
+        acc["count"] += 1
+    out = []
+    for (flag, status) in sorted(groups):
+        acc = groups[(flag, status)]
+        out.append(
+            {
+                "l_returnflag": flag,
+                "l_linestatus": status,
+                "sum_qty": _round(acc["qty"]),
+                "sum_base_price": _round(acc["base"]),
+                "sum_disc_price": _round(acc["disc"]),
+                "sum_charge": _round(acc["charge"]),
+                "avg_qty": _round(acc["qty"] / acc["count"], 4),
+                "avg_price": _round(acc["base"] / acc["count"], 4),
+                "avg_disc": _round(acc["discount"] / acc["count"], 4),
+                "count_order": acc["count"],
+            }
+        )
+    return out
+
+
+def q02(tables: dict) -> list[dict]:
+    region_keys = {
+        r["r_regionkey"] for r in tables["region"] if r["r_name"] == Q02_REGION
+    }
+    nations = {
+        n["n_nationkey"]: n
+        for n in tables["nation"]
+        if n["n_regionkey"] in region_keys
+    }
+    suppliers = {
+        s["s_suppkey"]: s
+        for s in tables["supplier"]
+        if s["s_nationkey"] in nations
+    }
+    parts = {
+        p["p_partkey"]: p
+        for p in tables["part"]
+        if p["p_size"] == Q02_SIZE and p["p_type"].endswith(Q02_TYPE_SUFFIX)
+    }
+    min_cost: dict = {}
+    for ps in tables["partsupp"]:
+        if ps["ps_partkey"] in parts and ps["ps_suppkey"] in suppliers:
+            cur = min_cost.get(ps["ps_partkey"])
+            if cur is None or ps["ps_supplycost"] < cur:
+                min_cost[ps["ps_partkey"]] = ps["ps_supplycost"]
+    out = []
+    for ps in tables["partsupp"]:
+        partkey = ps["ps_partkey"]
+        if partkey in parts and ps["ps_suppkey"] in suppliers:
+            if ps["ps_supplycost"] == min_cost[partkey]:
+                supp = suppliers[ps["ps_suppkey"]]
+                out.append(
+                    {
+                        "s_acctbal": supp["s_acctbal"],
+                        "s_name": supp["s_name"],
+                        "n_name": nations[supp["s_nationkey"]]["n_name"],
+                        "p_partkey": partkey,
+                        "p_mfgr": parts[partkey]["p_mfgr"],
+                        "s_phone": supp["s_phone"],
+                    }
+                )
+    out.sort(
+        key=lambda r: (-r["s_acctbal"], r["n_name"], r["s_name"], r["p_partkey"])
+    )
+    return out[:100]
+
+
+def q04(tables: dict) -> list[dict]:
+    late = {
+        li["l_orderkey"]
+        for li in tables["lineitem"]
+        if li["l_commitdate"] < li["l_receiptdate"]
+    }
+    counts: dict = defaultdict(int)
+    for order in tables["orders"]:
+        if Q04_DATE_LO <= order["o_orderdate"] < Q04_DATE_HI and order["o_orderkey"] in late:
+            counts[order["o_orderpriority"]] += 1
+    return [
+        {"o_orderpriority": priority, "order_count": counts[priority]}
+        for priority in sorted(counts)
+    ]
+
+
+def q06(tables: dict) -> list[dict]:
+    revenue = 0.0
+    for li in tables["lineitem"]:
+        if (
+            Q06_DATE_LO <= li["l_shipdate"] < Q06_DATE_HI
+            and Q06_DISCOUNT_LO - 1e-9 <= li["l_discount"] <= Q06_DISCOUNT_HI + 1e-9
+            and li["l_quantity"] < Q06_QUANTITY
+        ):
+            revenue += li["l_extendedprice"] * li["l_discount"]
+    return [{"revenue": _round(revenue)}]
+
+
+def q12(tables: dict) -> list[dict]:
+    orders = {o["o_orderkey"]: o for o in tables["orders"]}
+    counts: dict = {}
+    for li in tables["lineitem"]:
+        if li["l_shipmode"] not in Q12_MODES:
+            continue
+        if not (li["l_shipdate"] < li["l_commitdate"] < li["l_receiptdate"]):
+            continue
+        if not (Q12_DATE_LO <= li["l_receiptdate"] < Q12_DATE_HI):
+            continue
+        order = orders[li["l_orderkey"]]
+        acc = counts.setdefault(li["l_shipmode"], {"high": 0, "low": 0})
+        if order["o_orderpriority"] in ("1-URGENT", "2-HIGH"):
+            acc["high"] += 1
+        else:
+            acc["low"] += 1
+    return [
+        {
+            "l_shipmode": mode,
+            "high_line_count": counts[mode]["high"],
+            "low_line_count": counts[mode]["low"],
+        }
+        for mode in sorted(counts)
+    ]
+
+
+def q13(tables: dict) -> list[dict]:
+    per_customer: dict = defaultdict(int)
+    for order in tables["orders"]:
+        comment = order["o_comment"]
+        i = comment.find(Q13_WORD1)
+        if i >= 0 and comment.find(Q13_WORD2, i + len(Q13_WORD1)) >= 0:
+            continue
+        per_customer[order["o_custkey"]] += 1
+    distribution: dict = defaultdict(int)
+    for customer in tables["customer"]:
+        distribution[per_customer.get(customer["c_custkey"], 0)] += 1
+    out = [
+        {"c_count": c_count, "custdist": custdist}
+        for c_count, custdist in distribution.items()
+    ]
+    out.sort(key=lambda r: (-r["custdist"], -r["c_count"]))
+    return out
+
+
+def q14(tables: dict) -> list[dict]:
+    parts = {p["p_partkey"]: p for p in tables["part"]}
+    promo = 0.0
+    total = 0.0
+    for li in tables["lineitem"]:
+        if not (Q14_DATE_LO <= li["l_shipdate"] < Q14_DATE_HI):
+            continue
+        disc_price = li["l_extendedprice"] * (1 - li["l_discount"])
+        total += disc_price
+        if parts[li["l_partkey"]]["p_type"].startswith("PROMO"):
+            promo += disc_price
+    value = 100.0 * promo / total if total else 0.0
+    return [{"promo_revenue": _round(value, 4)}]
+
+
+def q17(tables: dict) -> list[dict]:
+    target_parts = {
+        p["p_partkey"]
+        for p in tables["part"]
+        if p["p_brand"] == Q17_BRAND and p["p_container"] == Q17_CONTAINER
+    }
+    sums: dict = defaultdict(lambda: [0.0, 0])
+    for li in tables["lineitem"]:
+        if li["l_partkey"] in target_parts:
+            acc = sums[li["l_partkey"]]
+            acc[0] += li["l_quantity"]
+            acc[1] += 1
+    total = 0.0
+    for li in tables["lineitem"]:
+        partkey = li["l_partkey"]
+        if partkey in target_parts:
+            avg_qty = sums[partkey][0] / sums[partkey][1]
+            if li["l_quantity"] < 0.2 * avg_qty:
+                total += li["l_extendedprice"]
+    return [{"avg_yearly": _round(total / 7.0)}]
+
+
+def q22(tables: dict) -> list[dict]:
+    def code(customer: dict) -> str:
+        return customer["c_phone"][:2]
+
+    eligible = [
+        c for c in tables["customer"] if code(c) in Q22_CODES
+    ]
+    positive = [c["c_acctbal"] for c in eligible if c["c_acctbal"] > 0.0]
+    avg_bal = sum(positive) / len(positive) if positive else 0.0
+    with_orders = {o["o_custkey"] for o in tables["orders"]}
+    groups: dict = defaultdict(lambda: [0, 0.0])
+    for customer in eligible:
+        if customer["c_acctbal"] > avg_bal and customer["c_custkey"] not in with_orders:
+            acc = groups[code(customer)]
+            acc[0] += 1
+            acc[1] += customer["c_acctbal"]
+    return [
+        {"cntrycode": cc, "numcust": acc[0], "totacctbal": _round(acc[1])}
+        for cc, acc in sorted(groups.items())
+    ]
+
+
+REFERENCE_QUERIES = {
+    "Q01": q01,
+    "Q02": q02,
+    "Q04": q04,
+    "Q06": q06,
+    "Q12": q12,
+    "Q13": q13,
+    "Q14": q14,
+    "Q17": q17,
+    "Q22": q22,
+}

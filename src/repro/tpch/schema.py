@@ -1,0 +1,92 @@
+"""TPC-H table schemas and shared constants.
+
+Dates are stored as ``datetime.date.toordinal()`` integers so range
+predicates and day arithmetic stay cheap and comparable.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+#: Rows per table at scale factor 1.0 (the official dbgen cardinalities).
+BASE_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,  # approximate: 1-7 lines per order
+}
+
+#: Approximate serialized row widths in bytes (used as object_bytes).
+ROW_BYTES = {
+    "region": 64,
+    "nation": 72,
+    "supplier": 160,
+    "customer": 180,
+    "part": 156,
+    "partsupp": 144,
+    "orders": 128,
+    "lineitem": 144,
+}
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+#: (nation name, region index) — the official 25 nations.
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCTS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+MARKET_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+
+TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+CONTAINER_SYLLABLE_1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINER_SYLLABLE_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+
+#: Color words dbgen composes part names from (Q09 filters on "green",
+#: Q20 on the "forest" prefix).
+P_NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cream", "cyan", "dark",
+    "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest", "frosted",
+    "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew", "hot",
+    "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light",
+    "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight",
+    "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange", "orchid",
+    "pale", "papaya", "peach", "peru", "pink", "plum", "powder", "puff",
+    "purple", "red", "rose", "rosy", "royal", "saddle", "salmon", "sandy",
+    "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel",
+    "tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white",
+    "yellow",
+]
+
+START_DATE = date(1992, 1, 1).toordinal()
+END_DATE = date(1998, 12, 1).toordinal()
+CURRENT_DATE = date(1995, 6, 17).toordinal()
+
+
+def d(year: int, month: int, day: int) -> int:
+    """Shorthand: a date literal as an ordinal."""
+    return date(year, month, day).toordinal()
+
+
+def rows_for(table: str, scale: float) -> int:
+    """Row count for a table at fractional scale factor ``scale``."""
+    if table in ("region", "nation"):
+        return BASE_ROWS[table]
+    return max(1, int(BASE_ROWS[table] * scale))

@@ -1,0 +1,125 @@
+"""dbgen-compatible ``.tbl`` export/import.
+
+The official TPC-H dbgen emits pipe-delimited ``<table>.tbl`` files.
+These helpers let this substrate interoperate: write generated tables to
+``.tbl`` files, and read ``.tbl`` files (from the real dbgen or from
+here) back into record dicts with correct column types.
+
+Dates cross the boundary in ISO ``YYYY-MM-DD`` form and are stored
+internally as ordinals (see :mod:`repro.tpch.schema`).
+"""
+
+from __future__ import annotations
+
+import os
+from datetime import date
+
+#: Column order and types per table, matching the TPC-H specification.
+#: type codes: i=int, f=float, s=string, d=date(ordinal<->ISO)
+TBL_COLUMNS = {
+    "region": [("r_regionkey", "i"), ("r_name", "s"), ("r_comment", "s")],
+    "nation": [
+        ("n_nationkey", "i"), ("n_name", "s"), ("n_regionkey", "i"),
+        ("n_comment", "s"),
+    ],
+    "supplier": [
+        ("s_suppkey", "i"), ("s_name", "s"), ("s_address", "s"),
+        ("s_nationkey", "i"), ("s_phone", "s"), ("s_acctbal", "f"),
+        ("s_comment", "s"),
+    ],
+    "customer": [
+        ("c_custkey", "i"), ("c_name", "s"), ("c_address", "s"),
+        ("c_nationkey", "i"), ("c_phone", "s"), ("c_acctbal", "f"),
+        ("c_mktsegment", "s"), ("c_comment", "s"),
+    ],
+    "part": [
+        ("p_partkey", "i"), ("p_name", "s"), ("p_mfgr", "s"), ("p_brand", "s"),
+        ("p_type", "s"), ("p_size", "i"), ("p_container", "s"),
+        ("p_retailprice", "f"), ("p_comment", "s"),
+    ],
+    "partsupp": [
+        ("ps_partkey", "i"), ("ps_suppkey", "i"), ("ps_availqty", "i"),
+        ("ps_supplycost", "f"), ("ps_comment", "s"),
+    ],
+    "orders": [
+        ("o_orderkey", "i"), ("o_custkey", "i"), ("o_orderstatus", "s"),
+        ("o_totalprice", "f"), ("o_orderdate", "d"), ("o_orderpriority", "s"),
+        ("o_clerk", "s"), ("o_shippriority", "i"), ("o_comment", "s"),
+    ],
+    "lineitem": [
+        ("l_orderkey", "i"), ("l_partkey", "i"), ("l_suppkey", "i"),
+        ("l_linenumber", "i"), ("l_quantity", "i"), ("l_extendedprice", "f"),
+        ("l_discount", "f"), ("l_tax", "f"), ("l_returnflag", "s"),
+        ("l_linestatus", "s"), ("l_shipdate", "d"), ("l_commitdate", "d"),
+        ("l_receiptdate", "d"), ("l_shipinstruct", "s"), ("l_shipmode", "s"),
+        ("l_comment", "s"),
+    ],
+}
+
+
+def _encode(value, kind: str) -> str:
+    if kind == "d":
+        return date.fromordinal(int(value)).isoformat()
+    if kind == "f":
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _decode(text: str, kind: str):
+    if kind == "i":
+        return int(text)
+    if kind == "f":
+        return float(text)
+    if kind == "d":
+        return date.fromisoformat(text).toordinal()
+    return text
+
+
+def write_tbl(tables: dict, directory: str) -> dict:
+    """Write every table to ``<directory>/<name>.tbl``; returns paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = {}
+    for name, rows in tables.items():
+        columns = TBL_COLUMNS.get(name)
+        if columns is None:
+            raise ValueError(f"unknown TPC-H table {name!r}")
+        path = os.path.join(directory, f"{name}.tbl")
+        with open(path, "w") as handle:
+            for row in rows:
+                fields = [_encode(row[col], kind) for col, kind in columns]
+                handle.write("|".join(fields) + "|\n")
+        paths[name] = path
+    return paths
+
+
+def read_tbl(directory: str, tables: "list[str] | None" = None) -> dict:
+    """Read ``.tbl`` files back into record dicts."""
+    names = tables if tables is not None else sorted(TBL_COLUMNS)
+    out: dict = {}
+    for name in names:
+        columns = TBL_COLUMNS.get(name)
+        if columns is None:
+            raise ValueError(f"unknown TPC-H table {name!r}")
+        path = os.path.join(directory, f"{name}.tbl")
+        if not os.path.exists(path):
+            continue
+        rows = []
+        with open(path) as handle:
+            for line in handle:
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                fields = line.split("|")
+                if fields and fields[-1] == "":
+                    fields = fields[:-1]  # dbgen's trailing delimiter
+                if len(fields) != len(columns):
+                    raise ValueError(
+                        f"{path}: expected {len(columns)} fields, "
+                        f"got {len(fields)}: {line[:80]!r}"
+                    )
+                rows.append(
+                    {col: _decode(text, kind)
+                     for (col, kind), text in zip(columns, fields)}
+                )
+        out[name] = rows
+    return out

@@ -1,0 +1,48 @@
+"""Small shared helpers."""
+
+from __future__ import annotations
+
+
+def estimate_bytes(obj: object) -> int:
+    """Logical wire size of a record, used when the caller gives no size.
+
+    This is the *paper-scale* size charged to the cost model (e.g. an
+    80-byte character array stays 80 bytes), not Python's in-memory size.
+    """
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, int):
+        return 8
+    if isinstance(obj, float):
+        return 8
+    if isinstance(obj, str):
+        return max(1, len(obj))
+    if isinstance(obj, bytes):
+        return max(1, len(obj))
+    if isinstance(obj, (tuple, list)):
+        return 8 + sum(estimate_bytes(item) for item in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(
+            estimate_bytes(k) + estimate_bytes(v) for k, v in obj.items()
+        )
+    return 64
+
+
+def stable_hash(value: object) -> int:
+    """A deterministic, seed-independent hash for partitioning.
+
+    Python randomizes ``hash(str)`` per process; partition placement (and
+    therefore colliding-object counts) must be reproducible across runs.
+    """
+    if isinstance(value, int):
+        return value * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF
+    if isinstance(value, tuple):
+        acc = 0x345678
+        for item in value:
+            acc = (acc ^ stable_hash(item)) * 0x100000001B3 & 0xFFFFFFFFFFFFFFFF
+        return acc
+    data = value if isinstance(value, bytes) else str(value).encode("utf-8")
+    acc = 0xCBF29CE484222325
+    for byte in data:
+        acc = ((acc ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc

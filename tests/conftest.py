@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MachineProfile, PangeaCluster
+from repro.sim.devices import MB
+
+
+@pytest.fixture
+def tiny_profile() -> MachineProfile:
+    return MachineProfile.tiny(pool_bytes=16 * MB)
+
+
+@pytest.fixture
+def cluster(tiny_profile) -> PangeaCluster:
+    """A 2-node cluster with small pools (evictions are easy to trigger)."""
+    return PangeaCluster(num_nodes=2, profile=tiny_profile)
+
+
+@pytest.fixture
+def single_node() -> PangeaCluster:
+    return PangeaCluster(num_nodes=1, profile=MachineProfile.tiny(pool_bytes=16 * MB))
+
+
+def rows_match(got: list, want: list, rel: float = 1e-6, abs_tol: float = 1e-2) -> bool:
+    """Compare result rows field-by-field with float tolerance.
+
+    Distributed execution sums floats in a different order than the
+    reference, so penny-level drift on large monetary sums is expected.
+    """
+    if len(got) != len(want):
+        return False
+    for g, w in zip(got, want):
+        if set(g) != set(w):
+            return False
+        for key in w:
+            gv, wv = g[key], w[key]
+            if isinstance(wv, float) or isinstance(gv, float):
+                scale = max(abs(float(wv)), 1.0)
+                if abs(float(gv) - float(wv)) > max(abs_tol, rel * scale) + 1e-9:
+                    return False
+            elif gv != wv:
+                return False
+    return True

@@ -1,0 +1,88 @@
+"""Tests for locality-set attributes and runtime inference."""
+
+import pytest
+
+from repro.core.attributes import (
+    CurrentOperation,
+    DurabilityType,
+    LocalitySetAttributes,
+    ReadingPattern,
+    WritingPattern,
+)
+
+
+class TestDurabilityParsing:
+    def test_parse_strings(self):
+        assert DurabilityType.parse("write-back") is DurabilityType.WRITE_BACK
+        assert DurabilityType.parse("write-through") is DurabilityType.WRITE_THROUGH
+
+    def test_parse_passthrough(self):
+        assert DurabilityType.parse(DurabilityType.WRITE_BACK) is DurabilityType.WRITE_BACK
+
+    def test_parse_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            DurabilityType.parse("write-sometimes")
+
+
+class TestAttributeInference:
+    def test_defaults(self):
+        attrs = LocalitySetAttributes()
+        assert attrs.durability is DurabilityType.WRITE_THROUGH
+        assert attrs.current_operation is CurrentOperation.NONE
+        assert attrs.alive
+
+    def test_write_service_sets_pattern_and_operation(self):
+        attrs = LocalitySetAttributes()
+        attrs.note_write_service(WritingPattern.SEQUENTIAL_WRITE)
+        assert attrs.writing_pattern is WritingPattern.SEQUENTIAL_WRITE
+        assert attrs.current_operation is CurrentOperation.WRITE
+
+    def test_read_service_sets_pattern_and_operation(self):
+        attrs = LocalitySetAttributes()
+        attrs.note_read_service(ReadingPattern.SEQUENTIAL_READ)
+        assert attrs.reading_pattern is ReadingPattern.SEQUENTIAL_READ
+        assert attrs.current_operation is CurrentOperation.READ
+
+    def test_read_then_write_becomes_read_and_write(self):
+        attrs = LocalitySetAttributes()
+        attrs.note_read_service(ReadingPattern.SEQUENTIAL_READ)
+        attrs.note_write_service(WritingPattern.SEQUENTIAL_WRITE)
+        assert attrs.current_operation is CurrentOperation.READ_AND_WRITE
+
+    def test_write_then_read_becomes_read_and_write(self):
+        attrs = LocalitySetAttributes()
+        attrs.note_write_service(WritingPattern.CONCURRENT_WRITE)
+        attrs.note_read_service(ReadingPattern.RANDOM_READ)
+        assert attrs.current_operation is CurrentOperation.READ_AND_WRITE
+
+    def test_detach_downgrades_operation(self):
+        attrs = LocalitySetAttributes()
+        attrs.note_write_service(WritingPattern.SEQUENTIAL_WRITE)
+        attrs.note_service_detached(remaining_readers=0, remaining_writers=0)
+        assert attrs.current_operation is CurrentOperation.NONE
+
+    def test_detach_keeps_remaining_reader(self):
+        attrs = LocalitySetAttributes()
+        attrs.note_read_service(ReadingPattern.SEQUENTIAL_READ)
+        attrs.note_service_detached(remaining_readers=1, remaining_writers=0)
+        assert attrs.current_operation is CurrentOperation.READ
+
+    def test_detach_keeps_mixed(self):
+        attrs = LocalitySetAttributes()
+        attrs.note_service_detached(remaining_readers=1, remaining_writers=1)
+        assert attrs.current_operation is CurrentOperation.READ_AND_WRITE
+
+    def test_end_lifetime(self):
+        attrs = LocalitySetAttributes()
+        attrs.end_lifetime()
+        assert attrs.lifetime_ended
+        assert not attrs.alive
+        assert attrs.current_operation is CurrentOperation.NONE
+
+    def test_hash_service_pattern_combination(self):
+        """The hash service implies random-mutable-write + random-read."""
+        attrs = LocalitySetAttributes()
+        attrs.note_write_service(WritingPattern.RANDOM_MUTABLE_WRITE)
+        attrs.note_read_service(ReadingPattern.RANDOM_READ)
+        assert attrs.writing_pattern is WritingPattern.RANDOM_MUTABLE_WRITE
+        assert attrs.reading_pattern is ReadingPattern.RANDOM_READ

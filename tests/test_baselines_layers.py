@@ -1,0 +1,184 @@
+"""Tests for HDFS, Alluxio, Ignite, Redis, and STL-map baselines."""
+
+import pytest
+
+from repro.baselines.alluxio import AlluxioOutOfMemoryError, AlluxioWorker
+from repro.baselines.hdfs import HdfsCluster
+from repro.baselines.host import BaselineHost
+from repro.baselines.ignite import IgniteSegfaultError, IgniteSharedRdd
+from repro.baselines.redis_kv import RedisOutOfMemoryError, RedisServer
+from repro.baselines.stl_map import StlUnorderedMap
+from repro.sim.devices import GB, MB
+from repro.sim.profiles import MachineProfile
+
+
+@pytest.fixture
+def host():
+    return BaselineHost(MachineProfile.m3_xlarge())
+
+
+class TestHdfs:
+    def test_write_read_roundtrip(self, host):
+        hdfs = HdfsCluster([host], replication=1)
+        hdfs.write("f", 64 * MB, client=host)
+        hdfs.read("f", 64 * MB, client=host)
+        assert hdfs.file_bytes("f") == 64 * MB
+
+    def test_read_missing_raises(self, host):
+        hdfs = HdfsCluster([host])
+        with pytest.raises(KeyError):
+            hdfs.read("nope", 1, client=host)
+
+    def test_replication_multiplies_disk_writes(self):
+        hosts = [BaselineHost(MachineProfile.m3_xlarge(), i) for i in range(3)]
+        hdfs = HdfsCluster(hosts, replication=3)
+        hdfs.write("f", 64 * MB, client=hosts[0])
+        for fs in hdfs._datanode_fs:
+            fs_bytes = sum(f.total_bytes for f in fs._files.values())
+            assert fs_bytes == 64 * MB
+
+    def test_slower_than_raw_disk(self, host):
+        """HDFS pays copies and per-block latency over the raw device."""
+        hdfs = HdfsCluster([host], replication=1)
+        before = host.now
+        hdfs.write("f", 256 * MB, client=host)
+        hdfs_time = host.now - before
+        raw = 256 * MB / host.disks.disks[0].write_bandwidth / host.disks.num_disks
+        assert hdfs_time > raw * 0.5  # still same order, but with overheads
+
+    def test_invalid_replication(self, host):
+        with pytest.raises(ValueError):
+            HdfsCluster([host], replication=2)
+
+    def test_delete(self, host):
+        hdfs = HdfsCluster([host])
+        hdfs.write("f", 1 * MB, client=host)
+        hdfs.delete("f")
+        assert hdfs.file_bytes("f") == 0
+
+
+class TestAlluxio:
+    def test_write_read_roundtrip(self, host):
+        worker = AlluxioWorker(host, memory_bytes=64 * MB)
+        worker.write("f", 32 * MB, num_objects=1000)
+        worker.read("f", 32 * MB, num_objects=1000)
+        assert worker.file_bytes("f") == 32 * MB
+
+    def test_cannot_exceed_memory(self, host):
+        worker = AlluxioWorker(host, memory_bytes=16 * MB)
+        with pytest.raises(AlluxioOutOfMemoryError):
+            worker.write("f", 17 * MB)
+
+    def test_serde_cost_charged(self, host):
+        worker = AlluxioWorker(host, memory_bytes=1 * GB)
+        before = host.now
+        worker.write("f", 256 * MB, num_objects=1)
+        elapsed = host.now - before
+        assert elapsed >= 256 * MB / host.cpu.serialize_bandwidth / host.cpu.cores
+
+    def test_delete_frees_memory(self, host):
+        worker = AlluxioWorker(host, memory_bytes=16 * MB)
+        worker.write("f", 10 * MB)
+        worker.delete("f")
+        assert worker.used_bytes == 0
+        worker.write("g", 16 * MB)
+
+    def test_read_missing_raises(self, host):
+        with pytest.raises(KeyError):
+            AlluxioWorker(host, memory_bytes=1 * MB).read("f", 1)
+
+
+class TestIgnite:
+    def test_write_read_roundtrip(self, host):
+        shared = IgniteSharedRdd(host, heap_bytes=1 * GB, offheap_bytes=1 * GB)
+        shared.write("rdd", 64 * MB, num_objects=100)
+        shared.read("rdd", 64 * MB, num_objects=100)
+
+    def test_offheap_overflow_segfaults(self, host):
+        shared = IgniteSharedRdd(host, heap_bytes=1 * GB, offheap_bytes=32 * MB)
+        with pytest.raises(IgniteSegfaultError):
+            shared.write("rdd", 33 * MB)
+
+    def test_compaction_inflates_cost(self, host):
+        no_compact = IgniteSharedRdd(
+            host, heap_bytes=1 * GB, offheap_bytes=1 * GB, compaction_fraction=0.0
+        )
+        before = host.now
+        no_compact.write("a", 64 * MB)
+        cheap = host.now - before
+        compact = IgniteSharedRdd(
+            host, heap_bytes=1 * GB, offheap_bytes=1 * GB, compaction_fraction=0.4
+        )
+        before = host.now
+        compact.write("b", 64 * MB)
+        costly = host.now - before
+        assert costly > cheap * 1.5
+
+    def test_total_memory_includes_heap(self, host):
+        shared = IgniteSharedRdd(host, heap_bytes=5 * GB, offheap_bytes=30 * GB)
+        assert shared.total_memory_bytes == 35 * GB
+
+
+class TestRedis:
+    def test_ops_charge_round_trips(self, host):
+        redis = RedisServer(host, memory_bytes=1 * GB)
+        before = host.now
+        redis.execute_ops(1_000_000, new_keys=1_000_000)
+        assert host.now - before >= 1_000_000 * redis.per_op_seconds / host.cpu.cores
+
+    def test_thrash_past_memory(self, host):
+        redis = RedisServer(host, memory_bytes=12 * MB, fail_over_factor=2.0)
+        redis.execute_ops(200_000, new_keys=200_000)  # ~20.8MB of entries
+        before = host.now
+        redis.execute_ops(10_000)
+        slow = host.now - before
+        fresh_host = BaselineHost(MachineProfile.m3_xlarge())
+        fresh = RedisServer(fresh_host, memory_bytes=1 * GB)
+        before = fresh_host.now
+        fresh.execute_ops(10_000)
+        fast = fresh_host.now - before
+        assert slow > fast * 2
+
+    def test_fails_well_past_memory(self, host):
+        redis = RedisServer(host, memory_bytes=1 * MB, fail_over_factor=2.0)
+        with pytest.raises(RedisOutOfMemoryError):
+            redis.execute_ops(100_000, new_keys=100_000)
+
+    def test_flush_all_resets(self, host):
+        redis = RedisServer(host, memory_bytes=1 * GB)
+        redis.execute_ops(10, new_keys=10)
+        redis.flush_all()
+        assert redis.num_keys == 0
+
+    def test_invalid_counts(self, host):
+        redis = RedisServer(host)
+        with pytest.raises(ValueError):
+            redis.execute_ops(5, new_keys=6)
+
+
+class TestStlMap:
+    def test_in_memory_is_fast(self, host):
+        table = StlUnorderedMap(host, memory_bytes=1 * GB)
+        table.insert_ops(100_000, new_keys=100_000)
+        assert table.vm.stats.bytes_paged_in == 0
+
+    def test_swaps_past_memory(self, host):
+        table = StlUnorderedMap(host, memory_bytes=4 * MB)
+        table.insert_ops(100_000, new_keys=100_000)  # ~8.8MB of entries
+        assert table.vm.stats.bytes_paged_in > 0
+
+    def test_worse_per_entry_overhead_than_slab(self, host):
+        """The architectural reason Pangea spills later (Tab. 4)."""
+        from repro.buffer.slab import SlabAllocator
+
+        slab = SlabAllocator(1 << 20, chunk_min=80, growth_factor=1.25)
+        chunk = slab.chunk_size_for(48)
+        table = StlUnorderedMap(host)
+        assert table.per_entry_bytes > chunk
+
+    def test_clear(self, host):
+        table = StlUnorderedMap(host, memory_bytes=1 * GB)
+        table.insert_ops(1000, new_keys=1000)
+        table.clear()
+        assert table.num_keys == 0
+        assert table.needed_bytes == 0

@@ -1,0 +1,134 @@
+"""Tests for the OS virtual memory and OS file system baselines."""
+
+import pytest
+
+from repro.baselines.host import BaselineHost
+from repro.baselines.os_fs import OsFileSystem
+from repro.baselines.os_vm import OsVirtualMemory
+from repro.sim.devices import GB, MB
+from repro.sim.profiles import MachineProfile
+
+
+@pytest.fixture
+def host():
+    return BaselineHost(MachineProfile.m3_xlarge())
+
+
+class TestOsVirtualMemory:
+    def test_in_memory_scan_no_paging(self, host):
+        vm = OsVirtualMemory(host, memory_bytes=1 * GB)
+        vm.malloc_objects(1000, 1000)
+        vm.sequential_scan()
+        assert vm.stats.bytes_paged_out == 0
+        assert vm.stats.bytes_paged_in == 0
+
+    def test_overflow_triggers_swap(self, host):
+        vm = OsVirtualMemory(host, memory_bytes=1 * MB)
+        vm.malloc_objects(2000, 1000)  # 2MB > 1MB
+        assert vm.stats.bytes_paged_out > 0
+
+    def test_scan_beyond_memory_pages_every_pass(self, host):
+        vm = OsVirtualMemory(host, memory_bytes=1 * MB)
+        vm.malloc_objects(2000, 1000)
+        before = vm.stats.bytes_paged_in
+        vm.sequential_scan()
+        vm.sequential_scan()
+        assert vm.stats.bytes_paged_in > before
+
+    def test_page_stealing_writes_more_than_overflow(self, host):
+        """The paper measures 2.5x Pangea's page-out volume."""
+        vm = OsVirtualMemory(host, memory_bytes=10 * MB, steal_factor=2.5)
+        vm.malloc_objects(12, 1 * MB)
+        vm.stats.reset()
+        vm.sequential_scan()
+        overflow = vm.overflow_bytes
+        assert vm.stats.bytes_paged_out >= overflow * 2
+
+    def test_free_all_charges_per_object(self, host):
+        vm = OsVirtualMemory(host, memory_bytes=1 * GB)
+        vm.malloc_objects(1_000_000, 100)
+        before = host.now
+        vm.free_all(1_000_000, 100)
+        assert host.now - before >= 1_000_000 * vm.free_seconds / host.cpu.cores
+        assert vm.data_bytes == 0
+
+    def test_random_touch_faults_proportionally(self, host):
+        vm = OsVirtualMemory(host, memory_bytes=1 * MB)
+        vm.malloc_objects(4000, 1000)  # 4MB data, 1MB memory
+        before = vm.stats.bytes_paged_in
+        vm.random_touch(1000, 1000)
+        assert vm.stats.bytes_paged_in > before
+
+    def test_invalid_args(self, host):
+        vm = OsVirtualMemory(host)
+        with pytest.raises(ValueError):
+            vm.malloc_objects(-1, 10)
+        with pytest.raises(ValueError):
+            vm.malloc_objects(1, 0)
+
+
+class TestOsFileSystem:
+    def test_write_within_cache_defers_disk(self, host):
+        fs = OsFileSystem(host, cache_bytes=64 * MB)
+        fs.write("f", 10 * MB)
+        assert fs.stats.disk_bytes_written == 0
+
+    def test_flush_forces_writeback(self, host):
+        fs = OsFileSystem(host, cache_bytes=64 * MB)
+        fs.write("f", 10 * MB)
+        fs.flush("f")
+        assert fs.stats.disk_bytes_written == 10 * MB
+
+    def test_cache_overflow_spills(self, host):
+        fs = OsFileSystem(host, cache_bytes=8 * MB)
+        fs.write("f", 20 * MB)
+        assert fs.stats.disk_bytes_written > 0
+
+    def test_cached_read_avoids_disk(self, host):
+        fs = OsFileSystem(host, cache_bytes=64 * MB)
+        fs.write("f", 10 * MB)
+        fs.read("f", 10 * MB)
+        assert fs.stats.disk_bytes_read == 0
+
+    def test_evicted_read_hits_disk(self, host):
+        fs = OsFileSystem(host, cache_bytes=8 * MB)
+        fs.write("old", 8 * MB)
+        fs.flush("old")
+        fs.write("new", 8 * MB)  # evicts "old"
+        fs.read("old", 8 * MB)
+        assert fs.stats.disk_bytes_read > 0
+
+    def test_lru_eviction_order(self, host):
+        fs = OsFileSystem(host, cache_bytes=10 * MB)
+        fs.write("a", 5 * MB)
+        fs.write("b", 5 * MB)
+        fs.read("a", 5 * MB)  # touch a; b becomes LRU
+        fs.write("c", 5 * MB)  # evicts from b first
+        fs.stats.reset()
+        fs.read("a", 5 * MB)
+        hit_a = fs.stats.disk_bytes_read == 0
+        fs.stats.reset()
+        fs.read("b", 5 * MB)
+        missed_b = fs.stats.disk_bytes_read > 0
+        assert hit_a and missed_b
+
+    def test_read_past_eof_rejected(self, host):
+        fs = OsFileSystem(host, cache_bytes=8 * MB)
+        fs.write("f", 1 * MB)
+        with pytest.raises(ValueError):
+            fs.read("f", 2 * MB)
+
+    def test_every_access_pays_kernel_copy(self, host):
+        fs = OsFileSystem(host, cache_bytes=64 * MB)
+        before = host.now
+        fs.write("f", 8 * MB)
+        fs.read("f", 8 * MB)
+        elapsed = host.now - before
+        min_copies = 2 * (8 * MB) / host.cpu.memcpy_bandwidth / host.cpu.cores
+        assert elapsed >= min_copies
+
+    def test_delete(self, host):
+        fs = OsFileSystem(host, cache_bytes=8 * MB)
+        fs.write("f", 1 * MB)
+        fs.delete("f")
+        assert fs.file_bytes("f") == 0

@@ -1,0 +1,95 @@
+"""Tests for the broadcast map and join map services."""
+
+import pytest
+
+from repro import MachineProfile, PangeaCluster
+from repro.services.broadcast import broadcast_map
+from repro.services.joinmap import build_join_map
+from repro.services.shuffle import ShuffleService
+from repro.sim.devices import KB, MB
+
+
+@pytest.fixture
+def cluster():
+    return PangeaCluster(num_nodes=2, profile=MachineProfile.tiny(pool_bytes=16 * MB))
+
+
+class TestBroadcastMap:
+    def test_every_node_gets_full_map(self, cluster):
+        dim = cluster.create_set("dim", page_size=1 * MB, object_bytes=50)
+        dim.add_data([(i, f"v{i}") for i in range(50)])
+        bmap = broadcast_map(dim, key_fn=lambda r: r[0])
+        for node_id in (0, 1):
+            assert bmap.num_keys(node_id) == 50
+            assert bmap.lookup(node_id, 7) == [(7, "v7")]
+        bmap.drop()
+
+    def test_missing_key_returns_empty(self, cluster):
+        dim = cluster.create_set("dim", page_size=1 * MB, object_bytes=50)
+        dim.add_data([(1, "a")])
+        bmap = broadcast_map(dim, key_fn=lambda r: r[0])
+        assert bmap.lookup(0, 999) == []
+        bmap.drop()
+
+    def test_duplicate_keys_accumulate(self, cluster):
+        dim = cluster.create_set("dim", page_size=1 * MB, object_bytes=50)
+        dim.add_data([(1, "a"), (1, "b"), (2, "c")])
+        bmap = broadcast_map(dim, key_fn=lambda r: r[0])
+        assert sorted(v for _k, v in bmap.lookup(0, 1)) == ["a", "b"]
+        bmap.drop()
+
+    def test_broadcast_charges_network(self, cluster):
+        dim = cluster.create_set("dim", page_size=1 * MB, object_bytes=50)
+        dim.add_data([(i, "x") for i in range(100)])
+        bmap = broadcast_map(dim, key_fn=lambda r: r[0])
+        assert any(n.network.stats.bytes_sent > 0 for n in cluster.nodes)
+        bmap.drop()
+
+    def test_drop_frees_sets(self, cluster):
+        dim = cluster.create_set("dim", page_size=1 * MB, object_bytes=50)
+        dim.add_data([(1, "a")])
+        bmap = broadcast_map(dim, key_fn=lambda r: r[0], name="bm")
+        bmap.drop()
+        assert not any(name.startswith("bm_") for name in cluster.manager.set_names())
+
+
+class TestJoinMap:
+    def _shuffled(self, cluster):
+        service = ShuffleService(
+            cluster, "jm_sh", num_partitions=2,
+            page_size=1 * MB, small_page_size=64 * KB, object_bytes=60,
+        )
+        for i in range(200):
+            service.buffer_for(0, i % 2).add_object({"key": i % 10, "v": i})
+        service.finish_writing()
+        return service
+
+    def test_partitioned_tables_on_home_nodes(self, cluster):
+        service = self._shuffled(cluster)
+        jmap = build_join_map(service, key_fn=lambda r: r["key"], page_size=512 * KB)
+        assert jmap.num_partitions == 2
+        total = sum(jmap.num_keys(p) for p in range(2))
+        assert total == 10  # keys split across the two partitions
+        jmap.drop()
+        service.drop()
+
+    def test_lookup_returns_all_matches(self, cluster):
+        service = self._shuffled(cluster)
+        jmap = build_join_map(service, key_fn=lambda r: r["key"], page_size=512 * KB)
+        found = []
+        for partition in range(2):
+            found.extend(jmap.lookup(partition, 3))
+        assert len(found) == 20
+        assert all(r["key"] == 3 for r in found)
+        jmap.drop()
+        service.drop()
+
+    def test_drop_cleans_up(self, cluster):
+        service = self._shuffled(cluster)
+        jmap = build_join_map(service, key_fn=lambda r: r["key"],
+                              name="jm", page_size=512 * KB)
+        jmap.drop()
+        service.drop()
+        assert not any(
+            name.startswith("jm_") for name in cluster.manager.set_names()
+        )

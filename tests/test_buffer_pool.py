@@ -1,0 +1,158 @@
+"""Tests for pages and the unified buffer pool."""
+
+import pytest
+
+from repro.buffer.page import Page
+from repro.buffer.pool import BufferPool, BufferPoolFullError
+from repro.sim.devices import MB
+
+
+def make_page(page_id: int, size: int = 1 * MB) -> Page:
+    return Page(page_id, size)
+
+
+class TestPage:
+    def test_initial_state(self):
+        page = make_page(1)
+        assert not page.in_memory
+        assert not page.pinned
+        assert not page.dirty
+        assert page.free_bytes == 1 * MB
+
+    def test_append_tracks_bytes_and_dirty(self):
+        page = make_page(1)
+        page.append({"x": 1}, 100)
+        assert page.used_bytes == 100
+        assert page.num_objects == 1
+        assert page.dirty
+
+    def test_append_overflow_rejected(self):
+        page = Page(1, 128)
+        with pytest.raises(ValueError):
+            page.append("too big", 200)
+
+    def test_sealed_page_rejects_appends(self):
+        page = make_page(1)
+        page.seal()
+        with pytest.raises(ValueError):
+            page.append("x", 10)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Page(1, 0)
+
+
+class TestBufferPool:
+    def test_place_assigns_offset(self):
+        pool = BufferPool(4 * MB)
+        page = make_page(1)
+        pool.place(page)
+        assert page.in_memory
+        assert page in pool
+        assert pool.used_bytes >= 1 * MB
+
+    def test_place_twice_rejected(self):
+        pool = BufferPool(4 * MB)
+        page = make_page(1)
+        pool.place(page)
+        with pytest.raises(ValueError):
+            pool.place(page)
+
+    def test_release_returns_space(self):
+        pool = BufferPool(4 * MB)
+        page = make_page(1)
+        pool.place(page)
+        pool.release(page)
+        assert not page.in_memory
+        assert pool.used_bytes == 0
+
+    def test_release_pinned_rejected(self):
+        pool = BufferPool(4 * MB)
+        page = make_page(1)
+        pool.place(page)
+        pool.pin(page)
+        with pytest.raises(ValueError):
+            pool.release(page)
+
+    def test_pin_requires_residency(self):
+        pool = BufferPool(4 * MB)
+        with pytest.raises(ValueError):
+            pool.pin(make_page(1))
+
+    def test_pin_unpin_reference_counting(self):
+        pool = BufferPool(4 * MB)
+        page = make_page(1)
+        pool.place(page)
+        pool.pin(page)
+        pool.pin(page)
+        assert page.pin_count == 2
+        pool.unpin(page)
+        assert page.pinned
+        pool.unpin(page)
+        assert not page.pinned
+
+    def test_unpin_unpinned_rejected(self):
+        pool = BufferPool(4 * MB)
+        page = make_page(1)
+        pool.place(page)
+        with pytest.raises(ValueError):
+            pool.unpin(page)
+
+    def test_full_pool_without_evictor_raises(self):
+        pool = BufferPool(2 * MB)
+        pool.place(make_page(1, 2 * MB))
+        with pytest.raises(BufferPoolFullError):
+            pool.place(make_page(2, 1 * MB))
+
+    def test_evictor_is_consulted(self):
+        pool = BufferPool(2 * MB)
+        first = make_page(1, 2 * MB)
+        pool.place(first)
+
+        def evictor(needed: int) -> bool:
+            if first.in_memory:
+                pool.release(first)
+                return True
+            return False
+
+        pool.evictor = evictor
+        second = make_page(2, 1 * MB)
+        pool.place(second)
+        assert second.in_memory
+        assert not first.in_memory
+        assert pool.stats.placements == 2
+
+    def test_evictor_giving_up_raises(self):
+        pool = BufferPool(2 * MB)
+        pool.place(make_page(1, 2 * MB))
+        pool.evictor = lambda needed: False
+        with pytest.raises(BufferPoolFullError):
+            pool.place(make_page(2, 1 * MB))
+
+    def test_variable_page_sizes(self):
+        pool = BufferPool(8 * MB)
+        sizes = [1 * MB, 2 * MB, 512 * 1024, 64 * 1024]
+        pages = [make_page(i, s) for i, s in enumerate(sizes)]
+        for page in pages:
+            pool.place(page)
+        offsets = sorted((p.offset, p.size) for p in pages)
+        for (o1, s1), (o2, _s2) in zip(offsets, offsets[1:]):
+            assert o1 + s1 <= o2
+
+    def test_slab_pool_allocator(self):
+        pool = BufferPool(8 * MB, allocator="slab", max_page_size=1 * MB)
+        pages = [make_page(i, 1 * MB) for i in range(4)]
+        for page in pages:
+            pool.place(page)
+        pool.release(pages[0])
+        replacement = make_page(10, 1 * MB)
+        pool.place(replacement)
+        assert replacement.in_memory
+
+    def test_unknown_allocator_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(1 * MB, allocator="buddy")
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)

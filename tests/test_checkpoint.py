@@ -1,0 +1,113 @@
+"""Tests for cluster checkpoint/restore."""
+
+import pytest
+
+from repro import MachineProfile, PangeaCluster
+from repro.cluster.checkpoint import checkpoint, restore
+from repro.sim.devices import MB
+
+
+def make_cluster(nodes=3):
+    return PangeaCluster(
+        num_nodes=nodes, profile=MachineProfile.tiny(pool_bytes=16 * MB)
+    )
+
+
+@pytest.fixture
+def populated(tmp_path):
+    cluster = make_cluster()
+    user = cluster.create_set("user", durability="write-through",
+                              page_size=1 * MB, object_bytes=100)
+    user.add_data([{"i": i} for i in range(500)])
+    transient = cluster.create_set("scratch", durability="write-back",
+                                   page_size=1 * MB, object_bytes=100)
+    transient.add_data(list(range(50)))
+    return cluster, str(tmp_path)
+
+
+class TestCheckpoint:
+    def test_manifest_lists_durable_sets_only(self, populated):
+        cluster, directory = populated
+        manifest = checkpoint(cluster, directory)
+        names = [s["name"] for s in manifest["sets"]]
+        assert "user" in names
+        assert "scratch" not in names
+
+    def test_restore_round_trip(self, populated):
+        cluster, directory = populated
+        checkpoint(cluster, directory)
+        fresh = make_cluster()
+        restored = restore(fresh, directory)
+        assert restored == ["user"]
+        data = fresh.get_set("user")
+        assert sorted(r["i"] for r in data.scan_records()) == list(range(500))
+
+    def test_restore_preserves_placement(self, populated):
+        cluster, directory = populated
+        original = {
+            nid: shard.num_objects
+            for nid, shard in cluster.get_set("user").shards.items()
+        }
+        checkpoint(cluster, directory)
+        fresh = make_cluster()
+        restore(fresh, directory)
+        restored = {
+            nid: shard.num_objects
+            for nid, shard in fresh.get_set("user").shards.items()
+        }
+        assert restored == original
+
+    def test_restore_preserves_logical_bytes(self, populated):
+        cluster, directory = populated
+        before = cluster.get_set("user").logical_bytes
+        checkpoint(cluster, directory)
+        fresh = make_cluster()
+        restore(fresh, directory)
+        assert fresh.get_set("user").logical_bytes == before
+
+    def test_restore_preserves_partition_scheme(self, tmp_path):
+        from repro.placement.partitioner import HashPartitioner, partition_set
+
+        cluster = make_cluster()
+        src = cluster.create_set("src", page_size=1 * MB, object_bytes=100)
+        src.add_data([{"k": i} for i in range(100)])
+        rep = cluster.create_set("rep", page_size=1 * MB, object_bytes=100)
+        partitioner = HashPartitioner(lambda r: r["k"], 12, key_name="k")
+        partition_set(src, rep, partitioner)
+        checkpoint(cluster, str(tmp_path))
+        fresh = make_cluster()
+        restore(fresh, str(tmp_path))
+        assert fresh.get_set("rep").partition_scheme == partitioner.scheme()
+
+    def test_restore_into_smaller_cluster_rejected(self, populated):
+        cluster, directory = populated
+        checkpoint(cluster, directory)
+        small = make_cluster(nodes=2)
+        with pytest.raises(ValueError):
+            restore(small, directory)
+
+    def test_restored_data_is_durable(self, populated):
+        """Every restored page is persisted (write-through semantics)."""
+        cluster, directory = populated
+        checkpoint(cluster, directory)
+        fresh = make_cluster()
+        restore(fresh, directory)
+        data = fresh.get_set("user")
+        for shard in data.shards.values():
+            for page in shard.pages:
+                assert page.on_disk
+
+    def test_spilled_durable_pages_checkpointed(self, tmp_path):
+        """Pages whose memory copy was evicted still reach the checkpoint."""
+        cluster = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=2 * MB)
+        )
+        data = cluster.create_set("big", durability="write-through",
+                                  page_size=1 * MB, object_bytes=256 * 1024)
+        data.add_data(list(range(32)))  # 8MB over a 2MB pool
+        checkpoint(cluster, str(tmp_path))
+        fresh = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=16 * MB)
+        )
+        restore(fresh, str(tmp_path))
+        assert sorted(fresh.get_set("big").scan_records()) == list(range(32))

@@ -1,0 +1,171 @@
+"""Tests for the computation-process model: circular buffer, data proxy,
+long-living workers, waves of tasks."""
+
+import pytest
+
+from repro import MachineProfile, PangeaCluster
+from repro.compute import CircularBuffer, DataProxy, WavesOfTasks, WorkerPool
+from repro.compute.circular import PageMeta
+from repro.sim.devices import MB
+
+
+def meta(i):
+    return PageMeta(page_id=i, offset=i * 100, size=100, num_objects=1)
+
+
+class TestCircularBuffer:
+    def test_fifo_order(self):
+        ring = CircularBuffer(4)
+        for i in range(3):
+            ring.put(meta(i))
+        assert [ring.get().page_id for _ in range(3)] == [0, 1, 2]
+
+    def test_full_put_stalls(self):
+        ring = CircularBuffer(2)
+        assert ring.put(meta(0))
+        assert ring.put(meta(1))
+        assert not ring.put(meta(2))
+        assert ring.producer_stalls == 1
+
+    def test_empty_get_stalls(self):
+        ring = CircularBuffer(2)
+        assert ring.get() is None
+        assert ring.consumer_stalls == 1
+
+    def test_wraparound(self):
+        ring = CircularBuffer(2)
+        for i in range(10):
+            ring.put(meta(i))
+            assert ring.get().page_id == i
+
+    def test_close_semantics(self):
+        ring = CircularBuffer(2)
+        ring.put(meta(0))
+        ring.close()
+        assert not ring.drained
+        assert ring.get().page_id == 0
+        assert ring.drained
+        with pytest.raises(ValueError):
+            ring.put(meta(1))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CircularBuffer(0)
+
+
+@pytest.fixture
+def loaded_cluster():
+    cluster = PangeaCluster(
+        num_nodes=2, profile=MachineProfile.tiny(pool_bytes=8 * MB)
+    )
+    data = cluster.create_set("s", durability="write-back",
+                              page_size=1 * MB, object_bytes=64 * 1024)
+    data.add_data(list(range(128)))  # 8MB over two 8MB pools
+    return cluster, data
+
+
+class TestDataProxy:
+    def test_serves_every_page_once(self, loaded_cluster):
+        cluster, data = loaded_cluster
+        shard = data.shards[0]
+        proxy = DataProxy(shard)
+        seen = []
+        while True:
+            page = proxy.next_page()
+            if page is None:
+                break
+            seen.append(page.page_id)
+            proxy.release_page(page)
+        assert sorted(seen) == sorted(p.page_id for p in shard.pages)
+        assert proxy.drained
+
+    def test_pages_pinned_while_served(self, loaded_cluster):
+        cluster, data = loaded_cluster
+        shard = data.shards[0]
+        proxy = DataProxy(shard)
+        page = proxy.next_page()
+        assert page.pinned
+        proxy.release_page(page)
+        assert not page.pinned
+
+    def test_release_unknown_page_rejected(self, loaded_cluster):
+        cluster, data = loaded_cluster
+        shard = data.shards[0]
+        proxy = DataProxy(shard)
+        with pytest.raises(ValueError):
+            proxy.release_page(shard.pages[0])
+
+    def test_close_releases_outstanding_pins(self, loaded_cluster):
+        cluster, data = loaded_cluster
+        shard = data.shards[0]
+        proxy = DataProxy(shard)
+        page = proxy.next_page()
+        proxy.close()
+        assert not page.pinned
+
+    def test_metadata_messages_charged(self, loaded_cluster):
+        cluster, data = loaded_cluster
+        shard = data.shards[0]
+        before = shard.node.network.stats.num_messages
+        proxy = DataProxy(shard)
+        while True:
+            page = proxy.next_page()
+            if page is None:
+                break
+            proxy.release_page(page)
+        # GetSetPages + one PagePinned per page.
+        assert shard.node.network.stats.num_messages >= before + 1 + len(shard.pages)
+
+
+class TestWorkerPool:
+    def test_processes_every_page(self, loaded_cluster):
+        cluster, data = loaded_cluster
+        pool = WorkerPool(cluster, workers_per_node=4)
+        result = pool.run_stage(data, page_fn=lambda p: p.num_objects)
+        assert result.pages_processed == data.num_pages
+        assert sum(result.all_results()) == data.num_objects
+
+    def test_stage_time_positive(self, loaded_cluster):
+        cluster, data = loaded_cluster
+        pool = WorkerPool(cluster)
+        result = pool.run_stage(data, page_fn=lambda p: None,
+                                seconds_per_object=1e-6)
+        assert result.seconds > 0
+
+    def test_more_workers_is_faster(self, loaded_cluster):
+        cluster, data = loaded_cluster
+        slow = WorkerPool(cluster, workers_per_node=1).run_stage(
+            data, page_fn=lambda p: None, seconds_per_object=1e-5
+        )
+        fast = WorkerPool(cluster, workers_per_node=4).run_stage(
+            data, page_fn=lambda p: None, seconds_per_object=1e-5
+        )
+        assert fast.seconds < slow.seconds
+
+    def test_invalid_worker_count(self, loaded_cluster):
+        cluster, _data = loaded_cluster
+        with pytest.raises(ValueError):
+            WorkerPool(cluster, workers_per_node=0)
+
+
+class TestWavesVsWorkers:
+    def test_same_answers(self, loaded_cluster):
+        cluster, data = loaded_cluster
+        workers = WorkerPool(cluster, workers_per_node=4).run_stage(
+            data, page_fn=lambda p: p.num_objects
+        )
+        waves = WavesOfTasks(cluster, cores_per_node=4).run_stage(
+            data, page_fn=lambda p: p.num_objects
+        )
+        assert sorted(workers.all_results()) == sorted(waves.all_results())
+
+    def test_waves_pay_per_task_overhead(self, loaded_cluster):
+        cluster, data = loaded_cluster
+        workers = WorkerPool(cluster, workers_per_node=4).run_stage(
+            data, page_fn=lambda p: None
+        )
+        waves = WavesOfTasks(cluster, cores_per_node=4).run_stage(
+            data, page_fn=lambda p: None
+        )
+        assert waves.tasks_scheduled == data.num_pages
+        assert waves.seconds > workers.seconds

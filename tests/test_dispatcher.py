@@ -1,0 +1,94 @@
+"""Tests for the dispatch (data import) service."""
+
+import pytest
+
+from repro import MachineProfile, PangeaCluster
+from repro.placement.partitioner import HashPartitioner
+from repro.services.dispatcher import Dispatcher
+from repro.sim.devices import MB
+
+
+@pytest.fixture
+def cluster():
+    return PangeaCluster(num_nodes=3, profile=MachineProfile.tiny(pool_bytes=16 * MB))
+
+
+@pytest.fixture
+def dataset(cluster):
+    return cluster.create_set("imported", page_size=1 * MB, object_bytes=100)
+
+
+class TestRoundRobin:
+    def test_records_spread_evenly(self, cluster, dataset):
+        report = Dispatcher(dataset).import_data([{"i": i} for i in range(300)])
+        assert report.records == 300
+        assert set(report.per_node.values()) == {100}
+        assert dataset.num_objects == 300
+
+    def test_bytes_accounted(self, cluster, dataset):
+        report = Dispatcher(dataset).import_data(
+            [{"i": i} for i in range(10)], nbytes_each=200
+        )
+        assert report.bytes == 2000
+        assert dataset.logical_bytes == 2000
+
+    def test_network_charged(self, cluster, dataset):
+        Dispatcher(dataset).import_data([{"i": i} for i in range(300)])
+        assert any(n.network.stats.bytes_sent > 0 for n in cluster.nodes)
+
+    def test_import_time_reported(self, cluster, dataset):
+        report = Dispatcher(dataset).import_data([{"i": i} for i in range(100)])
+        assert report.seconds > 0
+
+    def test_imported_data_cached_in_pool(self, cluster, dataset):
+        """The paper's point: imported data is already in the buffer pool."""
+        Dispatcher(dataset).import_data([{"i": i} for i in range(300)])
+        before = sum(n.pool.stats.pageins for n in cluster.nodes)
+        assert sorted(r["i"] for r in dataset.scan_records()) == list(range(300))
+        after = sum(n.pool.stats.pageins for n in cluster.nodes)
+        assert after == before  # no reload needed
+
+
+class TestHashDispatch:
+    def test_same_key_same_node(self, cluster, dataset):
+        dispatcher = Dispatcher(dataset, policy="hash", key_fn=lambda r: r["k"])
+        dispatcher.import_data([{"k": i % 10, "i": i} for i in range(200)])
+        for shard in dataset.shards.values():
+            keys_here = {r["k"] for p in shard.pages for r in p.records}
+            for other in dataset.shards.values():
+                if other is shard:
+                    continue
+                other_keys = {r["k"] for p in other.pages for r in p.records}
+                assert not (keys_here & other_keys)
+
+    def test_hash_requires_key_fn(self, cluster, dataset):
+        with pytest.raises(ValueError):
+            Dispatcher(dataset, policy="hash")
+
+    def test_unknown_policy_rejected(self, cluster, dataset):
+        with pytest.raises(ValueError):
+            Dispatcher(dataset, policy="zigzag")
+
+
+class TestPartitionerDispatch:
+    def test_partitioned_import_registers_scheme(self, cluster, dataset):
+        partitioner = HashPartitioner(lambda r: r["k"], 12, key_name="k")
+        Dispatcher(dataset, policy=partitioner).import_data(
+            [{"k": i} for i in range(120)]
+        )
+        assert dataset.partition_scheme == partitioner.scheme()
+        assert dataset.partitioner is partitioner
+
+    def test_partition_locality(self, cluster, dataset):
+        partitioner = HashPartitioner(lambda r: r["k"], 12, key_name="k")
+        Dispatcher(dataset, policy=partitioner).import_data(
+            [{"k": i} for i in range(120)]
+        )
+        node_ids = sorted(dataset.shards)
+        for node_id, shard in dataset.shards.items():
+            for page in shard.pages:
+                for record in page.records:
+                    expected = node_ids[
+                        partitioner.partition_of(record) % len(node_ids)
+                    ]
+                    assert expected == node_id

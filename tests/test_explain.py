@@ -1,0 +1,140 @@
+"""Tests for EXPLAIN."""
+
+import pytest
+
+from repro import MachineProfile, PangeaCluster
+from repro.placement.partitioner import HashPartitioner, partition_set
+from repro.placement.replication import register_replica
+from repro.query.explain import explain
+from repro.query.operators import ScanNode
+from repro.query.scheduler import QueryScheduler
+from repro.sim.devices import MB
+
+
+@pytest.fixture
+def cluster():
+    c = PangeaCluster(num_nodes=2, profile=MachineProfile.tiny(pool_bytes=64 * MB))
+    orders = c.create_set("orders", page_size=1 * MB, object_bytes=64)
+    items = c.create_set("items", page_size=1 * MB, object_bytes=64)
+    orders.add_data([{"o_id": i} for i in range(100)])
+    items.add_data([{"i_id": i, "i_order": i % 100} for i in range(400)])
+    c.manager.update_statistics(orders)
+    c.manager.update_statistics(items)
+    return c
+
+
+def join_plan():
+    return ScanNode("items").join(
+        ScanNode("orders"),
+        left_key=lambda r: r["i_order"],
+        right_key=lambda r: r["o_id"],
+        merge=lambda l, r: {**l, **r},
+        left_key_name="i_order",
+        right_key_name="o_id",
+    )
+
+
+class TestExplain:
+    def test_scan_with_pipeline(self, cluster):
+        scheduler = QueryScheduler(cluster, object_bytes=64)
+        text = explain(
+            scheduler,
+            ScanNode("orders").filter(lambda r: True).map(lambda r: r),
+        )
+        assert "Scan orders" in text
+        assert "1x filter" in text
+        assert "1x map" in text
+
+    def test_broadcast_join_explained(self, cluster):
+        scheduler = QueryScheduler(cluster, broadcast_threshold=1 * MB,
+                                   object_bytes=64)
+        text = explain(scheduler, join_plan())
+        assert "broadcast" in text
+        assert "Scan items" in text
+        assert "Scan orders" in text
+
+    def test_repartition_join_explained(self, cluster):
+        scheduler = QueryScheduler(cluster, broadcast_threshold=0, object_bytes=64)
+        text = explain(scheduler, join_plan())
+        assert "repartition" in text
+
+    def test_copartitioned_join_explained(self, cluster):
+        orders, items = cluster.get_set("orders"), cluster.get_set("items")
+        o_rep = cluster.create_set("orders_by_id", page_size=1 * MB, object_bytes=64)
+        partition_set(orders, o_rep,
+                      HashPartitioner(lambda r: r["o_id"], 8, key_name="o_id"))
+        i_rep = cluster.create_set("items_by_order", page_size=1 * MB,
+                                   object_bytes=64)
+        partition_set(items, i_rep,
+                      HashPartitioner(lambda r: r["i_order"], 8, key_name="i_order"))
+        register_replica(orders, o_rep, object_id_fn=lambda r: r["o_id"])
+        register_replica(items, i_rep, object_id_fn=lambda r: r["i_id"])
+        scheduler = QueryScheduler(cluster, broadcast_threshold=0, object_bytes=64)
+        text = explain(scheduler, join_plan())
+        assert "co-partitioned" in text
+        assert "orders_by_id" in text
+        assert "no shuffle" in text
+
+    def test_explain_does_not_execute(self, cluster):
+        scheduler = QueryScheduler(cluster, object_bytes=64)
+        before = cluster.simulated_seconds()
+        explain(scheduler, join_plan())
+        assert cluster.simulated_seconds() == before
+        assert scheduler.metrics.broadcast_joins == 0
+        assert scheduler.metrics.replica_substitutions == 0
+
+    def test_aggregate_and_orderby_explained(self, cluster):
+        scheduler = QueryScheduler(cluster, object_bytes=64)
+        plan = (
+            ScanNode("items")
+            .aggregate(
+                key_fn=lambda r: r["i_order"],
+                seed_fn=lambda r: 1,
+                merge_fn=lambda a, b: a + b,
+                final_fn=lambda k, n: {"k": k, "n": n},
+            )
+            .order_by(lambda r: r["k"])
+            .limit(5)
+        )
+        text = explain(scheduler, plan)
+        assert "Aggregate" in text
+        assert "OrderBy" in text
+        assert "Limit 5" in text
+
+    def test_derived_build_side_marked_runtime(self, cluster):
+        scheduler = QueryScheduler(cluster, object_bytes=64)
+        derived_right = ScanNode("orders").aggregate(
+            key_fn=lambda r: r["o_id"] % 3,
+            seed_fn=lambda r: 1,
+            merge_fn=lambda a, b: a + b,
+            final_fn=lambda k, n: {"g": k, "n": n},
+        )
+        plan = ScanNode("items").join(
+            derived_right,
+            left_key=lambda r: r["i_order"] % 3,
+            right_key=lambda r: r["g"],
+            merge=lambda l, r: l,
+        )
+        text = explain(scheduler, plan)
+        assert "runtime" in text
+
+    def test_explain_matches_tpch_query(self, cluster):
+        """Explain works on a real TPC-H plan shape."""
+        from repro.tpch import load_tpch
+
+        tpch = PangeaCluster(num_nodes=2,
+                             profile=MachineProfile.tiny(pool_bytes=256 * MB))
+        load_tpch(tpch, scale=0.001)
+        scheduler = QueryScheduler(tpch, broadcast_threshold=4 * MB,
+                                   object_bytes=144)
+        plan = ScanNode("lineitem").join(
+            ScanNode("orders"),
+            left_key=lambda li: li["l_orderkey"],
+            right_key=lambda o: o["o_orderkey"],
+            merge=lambda li, o: li,
+            left_key_name="l_orderkey",
+            right_key_name="o_orderkey",
+        )
+        text = explain(scheduler, plan)
+        assert "Scan lineitem" in text
+        assert "Join" in text

@@ -1,0 +1,129 @@
+"""Tests for the related-work policies: GreedyDual and LRU-K."""
+
+import pytest
+
+from repro import MachineProfile, PangeaCluster
+from repro.core.attributes import ReadingPattern
+from repro.core.policies import GreedyDualPolicy, LruKPolicy, make_policy
+from repro.sim.devices import MB
+
+
+def small_cluster(policy):
+    return PangeaCluster(
+        num_nodes=1, profile=MachineProfile.tiny(pool_bytes=8 * MB), policy=policy
+    )
+
+
+def fill_pages(cluster, name, count, durability="write-back"):
+    data = cluster.create_set(name, durability=durability, page_size=1 * MB)
+    shard = data.shards[0]
+    pages = []
+    for i in range(count):
+        page = shard.new_page()
+        page.append(f"{name}-{i}", 10)
+        shard.unpin_page(page)
+        pages.append(page)
+    return data, shard, pages
+
+
+class TestFactory:
+    def test_greedy_dual_by_name(self):
+        assert make_policy("greedy-dual").name == "greedy-dual"
+
+    def test_lru_k_by_name(self):
+        policy = make_policy("lru-2")
+        assert isinstance(policy, LruKPolicy)
+        assert policy.k == 2
+
+    def test_lru_k_invalid(self):
+        with pytest.raises(ValueError):
+            LruKPolicy(k=0)
+
+
+class TestGreedyDual:
+    def test_evicts_cheapest_unreferenced_page(self):
+        cluster = small_cluster("greedy-dual")
+        data, shard, pages = fill_pages(cluster, "s", 4)
+        # Touch three pages: their credit rises above the untouched one.
+        for page in pages[1:]:
+            shard.touch(page)
+        policy = cluster.nodes[0].paging.policy
+        victims = policy.select_victims([shard], 1 * MB)
+        assert victims == [pages[0]]
+
+    def test_inflation_rises_with_evictions(self):
+        cluster = small_cluster("greedy-dual")
+        data, shard, pages = fill_pages(cluster, "s", 4)
+        policy = cluster.nodes[0].paging.policy
+        policy.select_victims([shard], 1 * MB)
+        assert policy._inflation > 0
+
+    def test_random_read_pages_are_protected(self):
+        cluster = small_cluster("greedy-dual")
+        seq, seq_shard, seq_pages = fill_pages(cluster, "seq", 2)
+        rnd, rnd_shard, rnd_pages = fill_pages(cluster, "rnd", 2)
+        rnd.attributes.note_read_service(ReadingPattern.RANDOM_READ)
+        for page in seq_pages + rnd_pages:
+            page.shard.touch(page)
+        policy = cluster.nodes[0].paging.policy
+        victims = policy.select_victims([seq_shard, rnd_shard], 1 * MB)
+        assert victims[0].shard is seq_shard
+
+    def test_end_to_end_scan_workload(self):
+        cluster = small_cluster("greedy-dual")
+        data = cluster.create_set("s", durability="write-back",
+                                  page_size=1 * MB, object_bytes=256 * 1024)
+        records = list(range(64))  # 16MB over an 8MB pool
+        data.add_data(records)
+        assert sorted(data.scan_records()) == records
+
+
+class TestLruK:
+    def test_prefers_single_touch_pages(self):
+        cluster = small_cluster("lru-2")
+        data, shard, pages = fill_pages(cluster, "s", 4)
+        # Pages 1..3 get second touches; page 0 has only its creation ref.
+        for page in pages[1:]:
+            shard.touch(page)
+        policy = cluster.nodes[0].paging.policy
+        victims = policy.select_victims([shard], 1 * MB)
+        assert victims == [pages[0]]
+
+    def test_kth_distance_orders_victims(self):
+        cluster = small_cluster("lru-2")
+        data, shard, pages = fill_pages(cluster, "s", 3)
+        for page in pages:
+            shard.touch(page)  # everyone has 2 refs now
+        shard.touch(pages[2])  # freshen page 2's 2nd-most-recent ref
+        policy = cluster.nodes[0].paging.policy
+        victims = policy.select_victims([shard], 1 * MB)
+        assert victims[0] in (pages[0], pages[1])
+
+    def test_history_is_bounded(self):
+        policy = LruKPolicy(k=2, history=4)
+        cluster = small_cluster("lru")
+        data, shard, pages = fill_pages(cluster, "s", 1)
+        cluster.nodes[0].paging.set_policy(policy)
+        for _ in range(20):
+            shard.touch(pages[0])
+        assert len(policy._accesses[pages[0].page_id]) <= 4
+
+    def test_end_to_end_scan_workload(self):
+        cluster = small_cluster("lru-2")
+        data = cluster.create_set("s", durability="write-back",
+                                  page_size=1 * MB, object_bytes=256 * 1024)
+        records = list(range(64))
+        data.add_data(records)
+        assert sorted(data.scan_records()) == records
+
+
+class TestPolicyComparison:
+    def test_all_policies_produce_identical_answers(self):
+        answers = []
+        for policy in ("data-aware", "greedy-dual", "lru-2", "lru", "mru"):
+            cluster = small_cluster(policy)
+            data = cluster.create_set("s", durability="write-back",
+                                      page_size=1 * MB, object_bytes=128 * 1024)
+            data.add_data(list(range(128)))
+            answers.append(sorted(data.scan_records()))
+        assert all(a == answers[0] for a in answers)

@@ -1,0 +1,100 @@
+"""Tests for the Pangea distributed file system layer."""
+
+import pytest
+
+from repro.fs.node_fs import PangeaNodeFS
+from repro.fs.page_file import SetFile
+from repro.sim.clock import SimClock
+from repro.sim.devices import MB, DiskArray, DiskDevice
+
+
+@pytest.fixture
+def disks():
+    clock = SimClock()
+    return DiskArray([DiskDevice(clock=clock), DiskDevice(clock=clock)])
+
+
+class TestSetFile:
+    def test_write_then_read_roundtrip(self, disks):
+        handle = SetFile("s", disks)
+        handle.write_page(1, ["a", "b"], 1 * MB)
+        records, cost = handle.read_page(1)
+        assert records == ["a", "b"]
+        assert cost > 0
+
+    def test_payload_is_snapshotted(self, disks):
+        handle = SetFile("s", disks)
+        records = ["a"]
+        handle.write_page(1, records, 1 * MB)
+        records.append("b")
+        got, _cost = handle.read_page(1)
+        assert got == ["a"]
+
+    def test_rewrite_keeps_single_location(self, disks):
+        handle = SetFile("s", disks)
+        handle.write_page(1, ["v1"], 1 * MB)
+        first = handle.location(1)
+        handle.write_page(1, ["v2"], 1 * MB)
+        assert handle.location(1) == first
+        got, _ = handle.read_page(1)
+        assert got == ["v2"]
+
+    def test_pages_round_robin_over_disks(self, disks):
+        handle = SetFile("s", disks)
+        handle.write_page(1, [], 1 * MB)
+        handle.write_page(2, [], 1 * MB)
+        assert handle.location(1).disk_index != handle.location(2).disk_index
+
+    def test_read_missing_page_raises(self, disks):
+        handle = SetFile("s", disks)
+        with pytest.raises(KeyError):
+            handle.read_page(42)
+
+    def test_drop_page(self, disks):
+        handle = SetFile("s", disks)
+        handle.write_page(1, ["x"], 1 * MB)
+        handle.drop_page(1)
+        assert not handle.contains(1)
+        assert handle.num_pages == 0
+
+    def test_truncate(self, disks):
+        handle = SetFile("s", disks)
+        handle.write_page(1, [], 1 * MB)
+        handle.write_page(2, [], 1 * MB)
+        handle.truncate()
+        assert handle.num_pages == 0
+        assert handle.bytes_on_disk == 0
+
+    def test_write_charges_disk_time(self, disks):
+        handle = SetFile("s", disks)
+        clock = disks.disks[0].clock
+        before = clock.now
+        handle.write_page(1, [], 64 * MB)
+        assert clock.now > before
+
+
+class TestNodeFS:
+    def test_create_get_drop(self, disks):
+        fs = PangeaNodeFS(disks)
+        handle = fs.create_file("s")
+        assert fs.get_file("s") is handle
+        assert "s" in fs
+        fs.drop_file("s")
+        assert "s" not in fs
+
+    def test_duplicate_create_rejected(self, disks):
+        fs = PangeaNodeFS(disks)
+        fs.create_file("s")
+        with pytest.raises(ValueError):
+            fs.create_file("s")
+
+    def test_get_missing_raises(self, disks):
+        with pytest.raises(KeyError):
+            PangeaNodeFS(disks).get_file("nope")
+
+    def test_bytes_on_disk_sums_files(self, disks):
+        fs = PangeaNodeFS(disks)
+        fs.create_file("a").write_page(1, [], 1 * MB)
+        fs.create_file("b").write_page(2, [], 2 * MB)
+        assert fs.bytes_on_disk == 3 * MB
+        assert fs.num_files == 2

@@ -1,0 +1,184 @@
+"""Tests for the hash service: virtual hash buffers, splits, spills."""
+
+import pytest
+
+from repro import CurrentOperation, MachineProfile, PangeaCluster, ReadingPattern, WritingPattern
+from repro.services.hashsvc import VirtualHashBuffer
+from repro.sim.devices import MB
+
+
+def make_cluster(pool=16 * MB):
+    return PangeaCluster(num_nodes=1, profile=MachineProfile.tiny(pool_bytes=pool))
+
+
+def make_buffer(cluster, roots=2, page_size=1 * MB, combiner=None, name="h"):
+    data = cluster.create_set(name, durability="write-back", page_size=page_size)
+    return VirtualHashBuffer(data, num_root_partitions=roots, combiner=combiner)
+
+
+class TestBasicOperations:
+    def test_insert_and_find(self):
+        buffer = make_buffer(make_cluster())
+        buffer.insert("k", 42, nbytes=50)
+        assert buffer.find("k") == 42
+
+    def test_find_missing_returns_none(self):
+        buffer = make_buffer(make_cluster())
+        assert buffer.find("nope") is None
+
+    def test_set_overwrites(self):
+        buffer = make_buffer(make_cluster())
+        buffer.insert("k", 1, nbytes=50)
+        buffer.set("k", 99, nbytes=50)
+        assert buffer.find("k") == 99
+
+    def test_insert_with_combiner_aggregates(self):
+        buffer = make_buffer(make_cluster(), combiner=lambda a, b: a + b)
+        for _ in range(10):
+            buffer.insert("k", 1, nbytes=50)
+        assert buffer.find("k") == 10
+
+    def test_insert_without_combiner_keeps_newest(self):
+        buffer = make_buffer(make_cluster())
+        buffer.insert("k", 1, nbytes=50)
+        buffer.insert("k", 2, nbytes=50)
+        assert buffer.find("k") == 2
+
+    def test_len_counts_keys(self):
+        buffer = make_buffer(make_cluster())
+        for i in range(25):
+            buffer.insert(i, i, nbytes=50)
+        assert len(buffer) == 25
+
+    def test_attributes_inferred(self):
+        cluster = make_cluster()
+        data = cluster.create_set("h", durability="write-back", page_size=1 * MB)
+        VirtualHashBuffer(data, num_root_partitions=2)
+        assert data.attributes.writing_pattern is WritingPattern.RANDOM_MUTABLE_WRITE
+        assert data.attributes.reading_pattern is ReadingPattern.RANDOM_READ
+        assert data.attributes.current_operation is CurrentOperation.READ_AND_WRITE
+
+    def test_items_match_plain_dict(self):
+        buffer = make_buffer(make_cluster(), combiner=lambda a, b: a + b)
+        expected: dict = {}
+        for i in range(500):
+            key = i % 37
+            buffer.insert(key, 1, nbytes=60)
+            expected[key] = expected.get(key, 0) + 1
+        assert dict(buffer.items()) == expected
+
+    def test_insert_after_finalize_rejected(self):
+        buffer = make_buffer(make_cluster())
+        buffer.insert("a", 1, nbytes=50)
+        buffer.finalize()
+        with pytest.raises(RuntimeError):
+            buffer.insert("b", 2, nbytes=50)
+
+    def test_zero_roots_rejected(self):
+        cluster = make_cluster()
+        data = cluster.create_set("h", durability="write-back", page_size=1 * MB)
+        with pytest.raises(ValueError):
+            VirtualHashBuffer(data, num_root_partitions=0)
+
+
+class TestGrowthAndSpill:
+    def test_partition_split_on_full_page(self):
+        cluster = make_cluster(pool=16 * MB)
+        buffer = make_buffer(cluster, roots=1, page_size=1 * MB)
+        # ~1MB page fills after ~10000 x 100-byte entries; keep going.
+        for i in range(15000):
+            buffer.insert(("key", i), i, nbytes=68)
+        assert buffer.stats.splits >= 1
+        assert len(buffer) == 15000
+
+    def test_split_preserves_lookups(self):
+        cluster = make_cluster(pool=16 * MB)
+        buffer = make_buffer(cluster, roots=1, page_size=1 * MB)
+        for i in range(15000):
+            buffer.insert(i, i * 2, nbytes=68)
+        for probe in (0, 7777, 14999):
+            assert buffer.find(probe) == probe * 2
+
+    def test_spill_when_pool_exhausted(self):
+        cluster = make_cluster(pool=4 * MB)
+        buffer = make_buffer(cluster, roots=2, page_size=1 * MB)
+        for i in range(60000):
+            buffer.insert(i, i, nbytes=68)
+        assert buffer.stats.spills >= 1
+        assert cluster.total_bytes_on_disk() > 0
+
+    def test_streaming_items_after_spill_are_complete(self):
+        cluster = make_cluster(pool=4 * MB)
+        buffer = make_buffer(cluster, roots=2, page_size=1 * MB,
+                             combiner=lambda a, b: a + b)
+        for i in range(60000):
+            buffer.insert(i % 50000, 1, nbytes=68)
+        result = dict(buffer.items())
+        assert len(result) == 50000
+        assert sum(result.values()) == 60000
+
+    def test_spilled_reload_charges_reread_penalty(self):
+        cluster = make_cluster(pool=4 * MB)
+        buffer = make_buffer(cluster, roots=2, page_size=1 * MB)
+        for i in range(60000):
+            buffer.insert(i, i, nbytes=68)
+        assert buffer.stats.spills > 0
+        before = cluster.simulated_seconds()
+        list(buffer.items())
+        assert cluster.simulated_seconds() > before
+        assert buffer.stats.reloads >= buffer.stats.spills
+
+    def test_finalize_restores_residency_for_lookups(self):
+        cluster = make_cluster(pool=8 * MB)
+        buffer = make_buffer(cluster, roots=2, page_size=1 * MB,
+                             combiner=lambda a, b: a + b)
+        for i in range(30000):
+            buffer.insert(i % 20000, 1, nbytes=68)
+        spilled_before = buffer.stats.spills
+        buffer.finalize()
+        # After finalize every key is findable again.
+        assert buffer.find(0) is not None
+        assert buffer.find(19999) is not None
+        assert buffer.stats.reloads >= spilled_before
+
+    def test_release_unpins_all_pages(self):
+        cluster = make_cluster()
+        data = cluster.create_set("h", durability="write-back", page_size=1 * MB)
+        buffer = VirtualHashBuffer(data, num_root_partitions=4)
+        buffer.insert("k", 1, nbytes=50)
+        buffer.release()
+        for shard in data.shards.values():
+            assert all(not p.pinned for p in shard.pages)
+        data.end_lifetime()
+        cluster.drop_set("h")
+
+    def test_memory_bounded_by_pool(self):
+        cluster = make_cluster(pool=4 * MB)
+        buffer = make_buffer(cluster, roots=2, page_size=1 * MB)
+        for i in range(60000):
+            buffer.insert(i, i, nbytes=68)
+        assert cluster.nodes[0].pool.used_bytes <= cluster.nodes[0].pool.capacity
+
+
+class TestDistributedBuffer:
+    def test_roots_spread_over_nodes(self):
+        cluster = PangeaCluster(
+            num_nodes=2, profile=MachineProfile.tiny(pool_bytes=16 * MB)
+        )
+        data = cluster.create_set("h", durability="write-back", page_size=1 * MB)
+        buffer = VirtualHashBuffer(data, num_root_partitions=4)
+        nodes_used = {root.shard.node.node_id for root in buffer.roots}
+        assert nodes_used == {0, 1}
+
+    def test_distributed_aggregation_correct(self):
+        cluster = PangeaCluster(
+            num_nodes=2, profile=MachineProfile.tiny(pool_bytes=16 * MB)
+        )
+        data = cluster.create_set("h", durability="write-back", page_size=1 * MB)
+        buffer = VirtualHashBuffer(
+            data, num_root_partitions=4, combiner=lambda a, b: a + b
+        )
+        for i in range(1000):
+            buffer.insert(i % 10, 1, nbytes=60)
+        result = dict(buffer.items())
+        assert all(result[k] == 100 for k in range(10))

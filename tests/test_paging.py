@@ -1,0 +1,112 @@
+"""Tests for the paging system driving the buffer pool."""
+
+import pytest
+
+from repro import MachineProfile, PangeaCluster
+from repro.buffer.pool import BufferPoolFullError
+from repro.core.policies import DbminBlockedError
+from repro.sim.devices import MB
+
+
+def small_cluster(policy="data-aware", pool=4 * MB):
+    return PangeaCluster(
+        num_nodes=1, profile=MachineProfile.tiny(pool_bytes=pool), policy=policy
+    )
+
+
+class TestMakeRoom:
+    def test_allocation_pressure_triggers_eviction(self):
+        cluster = small_cluster()
+        data = cluster.create_set("s", durability="write-back", page_size=1 * MB)
+        shard = data.shards[0]
+        for _ in range(8):  # 8MB of pages through a 4MB pool
+            page = shard.new_page()
+            page.append("x", 10)
+            shard.seal_page(page)
+            shard.unpin_page(page)
+        node = cluster.nodes[0]
+        assert node.paging.stats.pages_evicted > 0
+        assert node.pool.used_bytes <= node.pool.capacity
+
+    def test_evicted_write_back_pages_reach_disk(self):
+        cluster = small_cluster()
+        data = cluster.create_set("s", durability="write-back", page_size=1 * MB)
+        shard = data.shards[0]
+        for i in range(8):
+            page = shard.new_page()
+            page.append(i, 10)
+            shard.seal_page(page)
+            shard.unpin_page(page)
+        assert cluster.nodes[0].fs.bytes_on_disk > 0
+
+    def test_all_pinned_raises_pool_full(self):
+        cluster = small_cluster()
+        data = cluster.create_set("s", page_size=1 * MB)
+        shard = data.shards[0]
+        pages = [shard.new_page() for _ in range(4)]
+        assert len(pages) == 4
+        with pytest.raises(BufferPoolFullError):
+            shard.new_page()
+
+    def test_ticks_advance_on_access(self):
+        cluster = small_cluster()
+        data = cluster.create_set("s", page_size=1 * MB)
+        shard = data.shards[0]
+        before = cluster.nodes[0].paging.current_tick
+        page = shard.new_page()
+        shard.touch(page)
+        assert cluster.nodes[0].paging.current_tick > before
+
+    def test_eviction_rounds_counted(self):
+        cluster = small_cluster()
+        data = cluster.create_set("s", durability="write-back", page_size=1 * MB)
+        shard = data.shards[0]
+        for _ in range(6):
+            page = shard.new_page()
+            shard.unpin_page(page)
+        assert cluster.nodes[0].paging.stats.eviction_rounds >= 2
+
+
+class TestLifetimePriority:
+    def test_dead_set_evicted_before_live(self):
+        cluster = small_cluster()
+        dead = cluster.create_set("dead", durability="write-back", page_size=1 * MB)
+        live = cluster.create_set("live", durability="write-back", page_size=1 * MB)
+        dead_shard, live_shard = dead.shards[0], live.shards[0]
+        for _ in range(2):
+            page = dead_shard.new_page()
+            dead_shard.unpin_page(page)
+        for _ in range(2):
+            page = live_shard.new_page()
+            live_shard.unpin_page(page)
+        dead.end_lifetime()
+        # Pool is full (4 pages); the next page must evict the dead set.
+        page = live_shard.new_page()
+        assert page.in_memory
+        assert all(not p.in_memory for p in dead_shard.pages)
+        assert all(p.in_memory for p in live_shard.pages[:2])
+
+
+class TestPolicySwitching:
+    def test_set_policy_by_name(self):
+        cluster = small_cluster()
+        cluster.set_policy("lru")
+        assert cluster.nodes[0].paging.policy.name == "lru"
+
+    def test_dbmin_blocking_propagates(self):
+        cluster = small_cluster(policy="dbmin-1000")
+        data = cluster.create_set("s", durability="write-back", page_size=1 * MB)
+        shard = data.shards[0]
+        with pytest.raises(DbminBlockedError):
+            for _ in range(8):
+                page = shard.new_page()
+                shard.unpin_page(page)
+
+    def test_unregistered_shard_not_considered(self):
+        cluster = small_cluster()
+        data = cluster.create_set("s", durability="write-back", page_size=1 * MB)
+        shard = data.shards[0]
+        page = shard.new_page()
+        shard.unpin_page(page)
+        cluster.nodes[0].paging.unregister_shard(shard)
+        assert cluster.nodes[0].paging.make_room(1 * MB) is False

@@ -1,0 +1,99 @@
+"""Tests for the paging eviction trace (observability)."""
+
+import pytest
+
+from repro import MachineProfile, PangeaCluster
+from repro.sim.devices import MB
+
+
+def pressured_cluster(policy="data-aware"):
+    cluster = PangeaCluster(
+        num_nodes=1, profile=MachineProfile.tiny(pool_bytes=4 * MB), policy=policy
+    )
+    cluster.nodes[0].paging.enable_trace()
+    return cluster
+
+
+class TestTrace:
+    def test_disabled_by_default(self):
+        cluster = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=4 * MB)
+        )
+        assert cluster.nodes[0].paging.trace is None
+
+    def test_records_evictions(self):
+        cluster = pressured_cluster()
+        data = cluster.create_set("s", durability="write-back", page_size=1 * MB)
+        shard = data.shards[0]
+        for _ in range(8):
+            page = shard.new_page()
+            page.append("x", 10)
+            shard.seal_page(page)
+            shard.unpin_page(page)
+        trace = cluster.nodes[0].paging.trace
+        assert len(trace) >= 4
+        assert all(e.set_name == "s" for e in trace)
+        assert all(e.policy == "data-aware" for e in trace)
+
+    def test_dirty_write_back_evictions_flush(self):
+        cluster = pressured_cluster()
+        data = cluster.create_set("s", durability="write-back", page_size=1 * MB)
+        shard = data.shards[0]
+        for _ in range(8):
+            page = shard.new_page()
+            page.append("x", 10)
+            shard.unpin_page(page)
+        for event in cluster.nodes[0].paging.trace:
+            if event.was_dirty:
+                assert event.flushed
+
+    def test_write_through_evictions_need_no_flush(self):
+        cluster = pressured_cluster()
+        data = cluster.create_set("s", durability="write-through", page_size=1 * MB)
+        shard = data.shards[0]
+        for _ in range(8):
+            page = shard.new_page()
+            page.append("x", 10)
+            shard.seal_page(page)  # persisted at write time
+            shard.unpin_page(page)
+        assert all(not e.was_dirty for e in cluster.nodes[0].paging.trace)
+
+    def test_dead_set_evicted_first_in_trace(self):
+        cluster = pressured_cluster()
+        dead = cluster.create_set("dead", durability="write-back", page_size=1 * MB)
+        live = cluster.create_set("live", durability="write-back", page_size=1 * MB)
+        for shard in (dead.shards[0], live.shards[0]):
+            for _ in range(2):
+                page = shard.new_page()
+                shard.unpin_page(page)
+        dead.end_lifetime()
+        live.shards[0].new_page()  # force one eviction round
+        trace = cluster.nodes[0].paging.trace
+        assert trace[0].set_name == "dead"
+
+    def test_mru_trace_order(self):
+        cluster = pressured_cluster(policy="mru")
+        data = cluster.create_set("s", durability="write-back", page_size=1 * MB)
+        shard = data.shards[0]
+        pages = []
+        for _ in range(4):
+            page = shard.new_page()
+            shard.unpin_page(page)
+            pages.append(page)
+        shard.new_page()  # eviction under MRU takes the newest unpinned
+        trace = cluster.nodes[0].paging.trace
+        assert trace[0].page_id == pages[-1].page_id
+
+    def test_trace_is_bounded(self):
+        cluster = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=2 * MB)
+        )
+        cluster.nodes[0].paging.enable_trace(capacity=5)
+        data = cluster.create_set("s", durability="write-back", page_size=256 * 1024)
+        data.add_data(list(range(64)), nbytes_each=128 * 1024)
+        assert len(cluster.nodes[0].paging.trace) <= 5
+
+    def test_disable_trace(self):
+        cluster = pressured_cluster()
+        cluster.nodes[0].paging.disable_trace()
+        assert cluster.nodes[0].paging.trace is None

@@ -1,0 +1,111 @@
+"""Tests for partitioners and the partition_set service."""
+
+import pytest
+
+from repro import MachineProfile, PangeaCluster
+from repro.placement.partitioner import (
+    HashPartitioner,
+    PartitionComp,
+    PartitionScheme,
+    RangePartitioner,
+    RoundRobinPartitioner,
+    partition_set,
+)
+from repro.sim.devices import MB
+
+
+@pytest.fixture
+def cluster():
+    return PangeaCluster(num_nodes=3, profile=MachineProfile.tiny(pool_bytes=16 * MB))
+
+
+class TestPartitioners:
+    def test_hash_partitioner_stable(self):
+        part = HashPartitioner(lambda r: r["k"], 8, key_name="k")
+        record = {"k": 42}
+        assert part.partition_of(record) == part.partition_of(record)
+        assert 0 <= part.partition_of(record) < 8
+
+    def test_hash_partition_of_key_matches_record(self):
+        part = HashPartitioner(lambda r: r["k"], 8)
+        assert part.partition_of({"k": "abc"}) == part.partition_of_key("abc")
+
+    def test_range_partitioner_boundaries(self):
+        part = RangePartitioner(lambda r: r, [10, 20], key_name="v")
+        assert part.partition_of(5) == 0
+        assert part.partition_of(10) == 1
+        assert part.partition_of(15) == 1
+        assert part.partition_of(25) == 2
+
+    def test_round_robin_cycles(self):
+        part = RoundRobinPartitioner(3)
+        assert [part.partition_of(None) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionComp(lambda r: r, 0)
+
+    def test_scheme_metadata(self):
+        part = HashPartitioner(lambda r: r, 16, key_name="l_orderkey")
+        scheme = part.scheme()
+        assert scheme == PartitionScheme("hash", "l_orderkey", 16)
+
+    def test_co_partitioned_requires_same_kind_and_count(self):
+        a = PartitionScheme("hash", "x", 16)
+        b = PartitionScheme("hash", "y", 16)
+        c = PartitionScheme("hash", "x", 8)
+        d = PartitionScheme("range", "x", 16)
+        assert a.co_partitioned_with(b)
+        assert not a.co_partitioned_with(c)
+        assert not a.co_partitioned_with(d)
+        assert not a.co_partitioned_with(None)
+
+
+class TestPartitionSet:
+    def test_records_preserved(self, cluster):
+        src = cluster.create_set("src", page_size=1 * MB, object_bytes=100)
+        rows = [{"k": i} for i in range(300)]
+        src.add_data(rows)
+        dst = cluster.create_set("dst", page_size=1 * MB, object_bytes=100)
+        partition_set(src, dst, HashPartitioner(lambda r: r["k"], 12, key_name="k"))
+        got = sorted(r["k"] for r in dst.scan_records())
+        assert got == list(range(300))
+
+    def test_partition_locality(self, cluster):
+        """All records of one partition land on that partition's node."""
+        src = cluster.create_set("src", page_size=1 * MB, object_bytes=100)
+        src.add_data([{"k": i} for i in range(300)])
+        dst = cluster.create_set("dst", page_size=1 * MB, object_bytes=100)
+        part = HashPartitioner(lambda r: r["k"], 12, key_name="k")
+        partition_set(src, dst, part)
+        node_ids = sorted(dst.shards)
+        for node_id, shard in dst.shards.items():
+            for page in shard.pages:
+                for record in page.records:
+                    expected = node_ids[part.partition_of(record) % len(node_ids)]
+                    assert expected == node_id
+
+    def test_scheme_registered_in_catalog(self, cluster):
+        src = cluster.create_set("src", page_size=1 * MB, object_bytes=100)
+        src.add_data([{"k": i} for i in range(10)])
+        dst = cluster.create_set("dst", page_size=1 * MB, object_bytes=100)
+        part = HashPartitioner(lambda r: r["k"], 6, key_name="k")
+        partition_set(src, dst, part)
+        assert dst.partition_scheme == part.scheme()
+        assert dst.partitioner is part
+        assert cluster.manager.statistics("dst").partition_scheme == part.scheme()
+
+    def test_cross_node_moves_charge_network(self, cluster):
+        src = cluster.create_set("src", page_size=1 * MB, object_bytes=100)
+        src.add_data([{"k": i} for i in range(300)])
+        dst = cluster.create_set("dst", page_size=1 * MB, object_bytes=100)
+        partition_set(src, dst, HashPartitioner(lambda r: r["k"], 12, key_name="k"))
+        assert any(n.network.stats.bytes_sent > 0 for n in cluster.nodes)
+
+    def test_source_left_untouched(self, cluster):
+        src = cluster.create_set("src", page_size=1 * MB, object_bytes=100)
+        src.add_data([{"k": i} for i in range(50)])
+        dst = cluster.create_set("dst", page_size=1 * MB, object_bytes=100)
+        partition_set(src, dst, HashPartitioner(lambda r: r["k"], 6, key_name="k"))
+        assert src.num_objects == 50
+        assert src.partition_scheme is None

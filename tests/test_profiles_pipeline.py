@@ -1,0 +1,86 @@
+"""Tests for machine profiles and the per-node pipeline runner."""
+
+import pytest
+
+from repro import MachineProfile, PangeaCluster
+from repro.query.pipeline import run_steps, scan_shard_records
+from repro.sim.devices import GB, MB
+
+
+class TestMachineProfiles:
+    def test_r4_matches_paper_hardware(self):
+        profile = MachineProfile.r4_2xlarge()
+        assert profile.cores == 8
+        assert profile.memory_bytes == 61 * GB
+        assert profile.num_disks == 1
+
+    def test_m3_matches_paper_hardware(self):
+        profile = MachineProfile.m3_xlarge()
+        assert profile.cores == 4
+        assert profile.memory_bytes == 15 * GB
+        assert profile.num_disks == 2
+
+    def test_pool_override(self):
+        profile = MachineProfile.r4_2xlarge(pool_bytes=10 * GB)
+        assert profile.pool_bytes == 10 * GB
+
+    def test_build_disks_named_per_node(self):
+        disks = MachineProfile.m3_xlarge().build_disks(node_id=3)
+        assert len(disks) == 2
+        assert all("node3" in d.name for d in disks)
+
+    def test_build_cpu_and_network(self):
+        profile = MachineProfile.tiny()
+        cpu = profile.build_cpu()
+        net = profile.build_network()
+        assert cpu.cores == profile.cores
+        assert net.bandwidth == profile.network_bandwidth
+
+
+class TestRunSteps:
+    def node(self):
+        cluster = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=8 * MB)
+        )
+        return cluster.nodes[0]
+
+    def test_filter_map_order(self):
+        node = self.node()
+        steps = [
+            ("map", lambda r: r * 2),
+            ("filter", lambda r: r > 4),
+        ]
+        out = list(run_steps(iter([1, 2, 3]), steps, node))
+        assert out == [6]
+
+    def test_flatmap_expansion(self):
+        node = self.node()
+        steps = [("flatmap", lambda r: [r] * r)]
+        out = list(run_steps(iter([1, 2, 3]), steps, node))
+        assert out == [1, 2, 2, 3, 3, 3]
+
+    def test_flatmap_to_empty_drops_record(self):
+        node = self.node()
+        steps = [
+            ("flatmap", lambda r: []),
+            ("map", lambda r: r),  # must never see anything
+        ]
+        assert list(run_steps(iter([1, 2]), steps, node)) == []
+
+    def test_no_steps_passthrough(self):
+        node = self.node()
+        assert list(run_steps(iter([1, 2]), [], node)) == [1, 2]
+
+    def test_large_stream_charges_in_batches(self):
+        node = self.node()
+        before = node.clock.now
+        list(run_steps(iter(range(5000)), [("map", lambda r: r)], node))
+        assert node.clock.now > before
+
+    def test_scan_shard_records_matches_pages(self):
+        cluster = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=8 * MB)
+        )
+        data = cluster.create_set("s", page_size=1 * MB, object_bytes=100)
+        data.add_data(list(range(77)))
+        assert sorted(scan_shard_records(data.shards[0])) == list(range(77))

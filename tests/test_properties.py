@@ -1,0 +1,127 @@
+"""Cross-module property-based tests on core invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MachineProfile, PangeaCluster
+from repro.services.hashsvc import VirtualHashBuffer
+from repro.sim.devices import MB
+from repro.util import estimate_bytes, stable_hash
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=200), st.integers()),
+        max_size=300,
+    )
+)
+def test_hash_buffer_matches_dict_semantics(pairs):
+    """The hash service is a dict with a combiner, whatever the pressure."""
+    cluster = PangeaCluster(num_nodes=1, profile=MachineProfile.tiny(pool_bytes=2 * MB))
+    data = cluster.create_set("h", durability="write-back", page_size=256 * 1024)
+    buffer = VirtualHashBuffer(data, num_root_partitions=2, combiner=lambda a, b: a + b)
+    expected: dict = {}
+    for key, value in pairs:
+        buffer.insert(key, value, nbytes=60)
+        expected[key] = expected.get(key, 0) + value
+    assert dict(buffer.items()) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=100, max_value=1000),
+)
+def test_scan_preserves_records_under_any_pressure(pages_worth, object_bytes):
+    """Write-back data survives eviction/reload for any sizing."""
+    cluster = PangeaCluster(num_nodes=1, profile=MachineProfile.tiny(pool_bytes=1 * MB))
+    data = cluster.create_set(
+        "s", durability="write-back", page_size=128 * 1024, object_bytes=object_bytes
+    )
+    count = pages_worth * (128 * 1024 // object_bytes) // 4 + 1
+    records = list(range(count))
+    data.add_data(records)
+    assert sorted(data.scan_records()) == records
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200))
+def test_paging_never_evicts_pinned_pages(sizes):
+    """Whatever the allocation pattern, pinned pages stay resident."""
+    cluster = PangeaCluster(num_nodes=1, profile=MachineProfile.tiny(pool_bytes=4 * MB))
+    data = cluster.create_set("s", durability="write-back", page_size=256 * 1024)
+    shard = data.shards[0]
+    pinned = [shard.new_page() for _ in range(4)]
+    for size in sizes:
+        page = shard.new_page()
+        page.append(size, 10)
+        shard.unpin_page(page)
+    assert all(p.in_memory for p in pinned)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.one_of(st.integers(), st.text(), st.tuples(st.integers(), st.text())))
+def test_stable_hash_is_deterministic_and_bounded(value):
+    h1, h2 = stable_hash(value), stable_hash(value)
+    assert h1 == h2
+    assert 0 <= h1 < 2 ** 64
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.one_of(
+        st.booleans(),
+        st.integers(),
+        st.floats(allow_nan=False),
+        st.text(max_size=50),
+        st.binary(max_size=50),
+        st.lists(st.integers(), max_size=10),
+        st.dictionaries(st.text(max_size=5), st.integers(), max_size=5),
+    )
+)
+def test_estimate_bytes_positive(value):
+    assert estimate_bytes(value) >= 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.lists(st.integers(min_value=0, max_value=10_000), min_size=5, max_size=100),
+)
+def test_partitioning_is_exhaustive_and_disjoint(num_nodes, keys):
+    """partition_set moves every record exactly once."""
+    from repro.placement.partitioner import HashPartitioner, partition_set
+
+    cluster = PangeaCluster(
+        num_nodes=num_nodes, profile=MachineProfile.tiny(pool_bytes=8 * MB)
+    )
+    src = cluster.create_set("src", page_size=256 * 1024, object_bytes=50)
+    src.add_data([{"k": k, "i": i} for i, k in enumerate(keys)])
+    dst = cluster.create_set("dst", page_size=256 * 1024, object_bytes=50)
+    partition_set(src, dst, HashPartitioner(lambda r: r["k"], 8, key_name="k"))
+    assert sorted(r["i"] for r in dst.scan_records()) == list(range(len(keys)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=50),
+                  st.integers(min_value=1, max_value=5)),
+        min_size=1, max_size=150,
+    ),
+    st.sampled_from(["data-aware", "lru", "mru", "dbmin-1", "dbmin-tuned"]),
+)
+def test_aggregation_identical_under_every_policy(pairs, policy):
+    """Paging policy affects time, never answers."""
+    cluster = PangeaCluster(
+        num_nodes=1, profile=MachineProfile.tiny(pool_bytes=2 * MB), policy=policy
+    )
+    data = cluster.create_set("h", durability="write-back", page_size=256 * 1024)
+    buffer = VirtualHashBuffer(data, num_root_partitions=2, combiner=lambda a, b: a + b)
+    expected: dict = {}
+    for key, value in pairs:
+        buffer.insert(key, value, nbytes=60)
+        expected[key] = expected.get(key, 0) + value
+    assert dict(buffer.items()) == expected

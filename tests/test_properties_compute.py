@@ -1,0 +1,65 @@
+"""Property tests for the compute-model data structures."""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compute.circular import CircularBuffer, PageMeta
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    ops=st.lists(st.sampled_from(["put", "get"]), max_size=200),
+)
+def test_circular_buffer_is_a_bounded_fifo(capacity, ops):
+    """Against a reference deque: same outputs, same occupancy, bounded."""
+    ring = CircularBuffer(capacity)
+    reference: deque = deque()
+    next_id = 0
+    for op in ops:
+        if op == "put":
+            accepted = ring.put(PageMeta(next_id, 0, 0, 0))
+            if accepted:
+                reference.append(next_id)
+            else:
+                assert len(reference) == capacity
+            next_id += 1
+        else:
+            meta = ring.get()
+            if meta is None:
+                assert not reference
+            else:
+                assert meta.page_id == reference.popleft()
+        assert ring.count == len(reference) <= capacity
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_pages=st.integers(min_value=0, max_value=12),
+    buffer_capacity=st.integers(min_value=1, max_value=6),
+)
+def test_data_proxy_serves_each_page_exactly_once(num_pages, buffer_capacity):
+    from repro import MachineProfile, PangeaCluster
+    from repro.compute import DataProxy
+    from repro.sim.devices import MB
+
+    cluster = PangeaCluster(
+        num_nodes=1, profile=MachineProfile.tiny(pool_bytes=16 * MB)
+    )
+    data = cluster.create_set("s", durability="write-back", page_size=1 * MB)
+    shard = data.shards[0]
+    for _ in range(num_pages):
+        page = shard.new_page()
+        shard.unpin_page(page)
+    proxy = DataProxy(shard, buffer_capacity=buffer_capacity)
+    served = []
+    while True:
+        page = proxy.next_page()
+        if page is None:
+            break
+        served.append(page.page_id)
+        proxy.release_page(page)
+    assert sorted(served) == sorted(p.page_id for p in shard.pages)
+    assert proxy.drained

@@ -1,0 +1,66 @@
+"""Property-based tests for the I/O layers: tbl files and checkpoints."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MachineProfile, PangeaCluster
+from repro.cluster.checkpoint import checkpoint, restore
+from repro.sim.devices import MB
+from repro.tpch.tbl_io import read_tbl, write_tbl
+
+comment_text = st.text(
+    alphabet=st.characters(
+        codec="ascii", categories=("Lu", "Ll", "Nd"), include_characters=" ",
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.lists(
+        st.fixed_dictionaries(
+            {
+                "r_regionkey": st.integers(min_value=0, max_value=10_000),
+                "r_name": comment_text.filter(lambda s: "|" not in s),
+                "r_comment": comment_text.filter(lambda s: "|" not in s),
+            }
+        ),
+        max_size=30,
+    )
+)
+def test_tbl_round_trip_property(rows, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("tblprop"))
+    write_tbl({"region": rows}, directory)
+    back = read_tbl(directory, ["region"]).get("region", [])
+    assert back == rows
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    payloads=st.lists(
+        st.integers(min_value=-(10 ** 9), max_value=10 ** 9),
+        min_size=1,
+        max_size=200,
+    ),
+    object_bytes=st.integers(min_value=10, max_value=4096),
+)
+def test_checkpoint_round_trip_property(payloads, object_bytes, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("ckptprop"))
+    cluster = PangeaCluster(
+        num_nodes=2, profile=MachineProfile.tiny(pool_bytes=8 * MB)
+    )
+    data = cluster.create_set(
+        "d", durability="write-through", page_size=256 * 1024,
+        object_bytes=object_bytes,
+    )
+    data.add_data(payloads)
+    checkpoint(cluster, directory)
+    fresh = PangeaCluster(
+        num_nodes=2, profile=MachineProfile.tiny(pool_bytes=8 * MB)
+    )
+    restore(fresh, directory)
+    restored = fresh.get_set("d")
+    assert sorted(restored.scan_records()) == sorted(payloads)
+    assert restored.logical_bytes == data.logical_bytes

@@ -1,0 +1,81 @@
+"""Tests for the expression DSL."""
+
+from repro.query.expressions import col, lit
+
+
+RECORD = {"a": 10, "b": 3.5, "name": "PROMO STEEL", "flag": True}
+
+
+class TestBasics:
+    def test_col_reads_field(self):
+        assert col("a")(RECORD) == 10
+
+    def test_lit_constant(self):
+        assert lit(7)(RECORD) == 7
+
+    def test_lit_passthrough_for_expr(self):
+        expr = col("a")
+        assert lit(expr) is expr
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert (col("a") + 5)(RECORD) == 15
+
+    def test_radd(self):
+        assert (5 + col("a"))(RECORD) == 15
+
+    def test_sub_and_rsub(self):
+        assert (col("a") - 4)(RECORD) == 6
+        assert (1 - col("b"))(RECORD) == -2.5
+
+    def test_mul_and_div(self):
+        assert (col("a") * 2)(RECORD) == 20
+        assert (col("a") / 4)(RECORD) == 2.5
+
+    def test_composition(self):
+        expr = col("a") * (1 - col("b") / 7)
+        assert expr(RECORD) == 10 * (1 - 0.5)
+
+
+class TestComparisons:
+    def test_all_comparison_operators(self):
+        assert (col("a") == 10)(RECORD)
+        assert (col("a") != 11)(RECORD)
+        assert (col("a") < 11)(RECORD)
+        assert (col("a") <= 10)(RECORD)
+        assert (col("a") > 9)(RECORD)
+        assert (col("a") >= 10)(RECORD)
+
+    def test_comparison_against_column(self):
+        assert (col("a") > col("b"))(RECORD)
+
+
+class TestConnectives:
+    def test_and(self):
+        assert ((col("a") == 10) & (col("b") < 4))(RECORD)
+        assert not ((col("a") == 10) & (col("b") > 4))(RECORD)
+
+    def test_or(self):
+        assert ((col("a") == 0) | (col("flag") == True))(RECORD)  # noqa: E712
+
+    def test_invert(self):
+        assert (~(col("a") == 0))(RECORD)
+
+
+class TestHelpers:
+    def test_isin(self):
+        assert col("a").isin([1, 10, 100])(RECORD)
+        assert not col("a").isin([2, 3])(RECORD)
+
+    def test_between_half_open(self):
+        assert col("a").between(10, 11)(RECORD)
+        assert not col("a").between(0, 10)(RECORD)
+
+    def test_startswith(self):
+        assert col("name").startswith("PROMO")(RECORD)
+        assert not col("name").startswith("STANDARD")(RECORD)
+
+    def test_description_renders(self):
+        expr = (col("a") + 1) < lit(5)
+        assert "a" in expr.description

@@ -1,0 +1,146 @@
+"""Property-based fuzzing of the query scheduler against a naive evaluator.
+
+Random plans (filters, maps, joins of every type, aggregations) over
+random tables must produce exactly what a direct in-memory evaluation
+produces, whichever physical strategy the scheduler picks.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MachineProfile, PangeaCluster
+from repro.query.operators import ScanNode
+from repro.query.scheduler import QueryScheduler
+from repro.sim.devices import MB
+
+
+def build_cluster(left_rows, right_rows):
+    cluster = PangeaCluster(
+        num_nodes=3, profile=MachineProfile.tiny(pool_bytes=64 * MB)
+    )
+    left = cluster.create_set("left", page_size=1 * MB, object_bytes=64)
+    right = cluster.create_set("right", page_size=1 * MB, object_bytes=64)
+    left.add_data(left_rows)
+    right.add_data(right_rows)
+    return cluster
+
+
+row = st.fixed_dictionaries(
+    {
+        "k": st.integers(min_value=0, max_value=12),
+        "v": st.integers(min_value=-50, max_value=50),
+    }
+)
+
+
+def freeze(rows):
+    return sorted(
+        (tuple(sorted(r.items())) for r in rows),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    left_rows=st.lists(row, max_size=40),
+    right_rows=st.lists(row, max_size=40),
+    threshold=st.integers(min_value=-20, max_value=20),
+    how=st.sampled_from(["inner", "left_semi", "left_anti", "left_outer"]),
+    broadcast=st.booleans(),
+)
+def test_join_fuzz_matches_naive_evaluation(
+    left_rows, right_rows, threshold, how, broadcast
+):
+    cluster = build_cluster(left_rows, right_rows)
+    scheduler = QueryScheduler(
+        cluster,
+        broadcast_threshold=1 * MB if broadcast else 0,
+        object_bytes=64,
+    )
+    plan = (
+        ScanNode("left")
+        .filter(lambda r: r["v"] > threshold)
+        .join(
+            ScanNode("right"),
+            left_key=lambda r: r["k"],
+            right_key=lambda r: r["k"],
+            merge=lambda l, r: {
+                "k": l["k"],
+                "lv": l["v"],
+                "rv": None if r is None else r["v"],
+            },
+            how=how,
+        )
+    )
+    got = scheduler.execute(plan)
+
+    # Naive evaluation.
+    filtered = [r for r in left_rows if r["v"] > threshold]
+    by_key: dict = {}
+    for r in right_rows:
+        by_key.setdefault(r["k"], []).append(r)
+    want = []
+    for l in filtered:
+        matches = by_key.get(l["k"], [])
+        if how == "inner":
+            want.extend({"k": l["k"], "lv": l["v"], "rv": m["v"]} for m in matches)
+        elif how == "left_semi":
+            if matches:
+                want.append(l)
+        elif how == "left_anti":
+            if not matches:
+                want.append(l)
+        else:
+            if matches:
+                want.extend(
+                    {"k": l["k"], "lv": l["v"], "rv": m["v"]} for m in matches
+                )
+            else:
+                want.append({"k": l["k"], "lv": l["v"], "rv": None})
+    assert freeze(got) == freeze(want)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.lists(row, max_size=60),
+    modulus=st.integers(min_value=1, max_value=5),
+)
+def test_aggregate_fuzz_matches_naive_evaluation(rows, modulus):
+    cluster = build_cluster(rows, [])
+    scheduler = QueryScheduler(cluster, object_bytes=64)
+    plan = (
+        ScanNode("left")
+        .map(lambda r: {"g": r["k"] % modulus, "v": r["v"]})
+        .aggregate(
+            key_fn=lambda r: r["g"],
+            seed_fn=lambda r: (r["v"], 1),
+            merge_fn=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+            final_fn=lambda g, acc: {"g": g, "sum": acc[0], "n": acc[1]},
+        )
+    )
+    got = scheduler.execute(plan)
+    want: dict = {}
+    for r in rows:
+        g = r["k"] % modulus
+        total, n = want.get(g, (0, 0))
+        want[g] = (total + r["v"], n + 1)
+    expected = [{"g": g, "sum": t, "n": n} for g, (t, n) in want.items()]
+    assert freeze(got) == freeze(expected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rows=st.lists(row, min_size=1, max_size=50),
+    limit=st.integers(min_value=1, max_value=10),
+    reverse=st.booleans(),
+)
+def test_orderby_limit_fuzz(rows, limit, reverse):
+    cluster = build_cluster(rows, [])
+    scheduler = QueryScheduler(cluster, object_bytes=64)
+    plan = (
+        ScanNode("left")
+        .order_by(lambda r: (r["v"], r["k"]), reverse=reverse)
+        .limit(limit)
+    )
+    got = scheduler.execute(plan)
+    want = sorted(rows, key=lambda r: (r["v"], r["k"]), reverse=reverse)[:limit]
+    assert [(r["k"], r["v"]) for r in got] == [(r["k"], r["v"]) for r in want]

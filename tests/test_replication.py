@@ -1,0 +1,108 @@
+"""Tests for replication groups and colliding-object handling."""
+
+import pytest
+
+from repro import MachineProfile, PangeaCluster
+from repro.placement.partitioner import HashPartitioner, partition_set
+from repro.placement.replication import (
+    expected_colliding_objects,
+    expected_unsafe_ratio,
+    register_replica,
+)
+from repro.sim.devices import MB
+
+
+@pytest.fixture
+def cluster():
+    return PangeaCluster(num_nodes=4, profile=MachineProfile.tiny(pool_bytes=32 * MB))
+
+
+def build_two_replicas(cluster, rows=400):
+    src = cluster.create_set("src", page_size=1 * MB, object_bytes=100)
+    src.add_data([{"a": i, "b": (i * 131) % 997, "id": i} for i in range(rows)])
+    rep_a = cluster.create_set("rep_a", page_size=1 * MB, object_bytes=100)
+    partition_set(src, rep_a, HashPartitioner(lambda r: r["a"], 16, key_name="a"))
+    rep_b = cluster.create_set("rep_b", page_size=1 * MB, object_bytes=100)
+    partition_set(src, rep_b, HashPartitioner(lambda r: r["b"], 16, key_name="b"))
+    return src, rep_a, rep_b
+
+
+class TestEstimators:
+    def test_expected_colliding_two_replicas(self):
+        assert expected_colliding_objects(1000, 10) == pytest.approx(100.0)
+
+    def test_expected_colliding_declines_with_nodes(self):
+        assert expected_colliding_objects(1000, 30) < expected_colliding_objects(1000, 10)
+
+    def test_expected_colliding_three_replicas(self):
+        assert expected_colliding_objects(1000, 10, num_replicas=3) == pytest.approx(10.0)
+
+    def test_expected_unsafe_ratio_formula(self):
+        # k=10, r=1: 1 - (10*9)/100 = 0.1
+        assert expected_unsafe_ratio(10, 1) == pytest.approx(0.1)
+
+    def test_unsafe_ratio_is_one_when_failures_exceed_nodes(self):
+        assert expected_unsafe_ratio(3, 3) == 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            expected_colliding_objects(10, 0)
+
+
+class TestRegisterReplica:
+    def test_group_contains_members(self, cluster):
+        src, rep_a, rep_b = build_two_replicas(cluster)
+        group = register_replica(rep_a, rep_b, object_id_fn=lambda r: r["id"])
+        assert rep_a in group.members
+        assert rep_b in group.members
+        assert group.group_id is not None
+
+    def test_members_share_group_id(self, cluster):
+        src, rep_a, rep_b = build_two_replicas(cluster)
+        group = register_replica(rep_a, rep_b, object_id_fn=lambda r: r["id"])
+        assert rep_a.replica_group_id == rep_b.replica_group_id == group.group_id
+        assert cluster.manager.replicas_of("rep_a") == group.members
+
+    def test_extending_existing_group(self, cluster):
+        src, rep_a, rep_b = build_two_replicas(cluster)
+        register_replica(src, rep_a, object_id_fn=lambda r: r["id"])
+        group = register_replica(src, rep_b, object_id_fn=lambda r: r["id"])
+        assert len(group.members) == 3
+
+    def test_colliding_objects_detected(self, cluster):
+        src, rep_a, rep_b = build_two_replicas(cluster)
+        group = register_replica(rep_a, rep_b, object_id_fn=lambda r: r["id"])
+        # Verify against a direct computation.
+        def nodes_of(dataset):
+            placement = {}
+            for node_id, shard in dataset.shards.items():
+                for page in shard.pages:
+                    for record in page.records:
+                        placement.setdefault(record["id"], set()).add(node_id)
+            return placement
+        a, b = nodes_of(rep_a), nodes_of(rep_b)
+        expected = {
+            oid for oid in a if len(a[oid] | b.get(oid, set())) == 1
+        }
+        assert group.colliding_ids == expected
+
+    def test_colliding_set_created_and_placed_off_home(self, cluster):
+        src, rep_a, rep_b = build_two_replicas(cluster)
+        group = register_replica(rep_a, rep_b, object_id_fn=lambda r: r["id"])
+        if not group.colliding_ids:
+            pytest.skip("no colliding objects at this scale")
+        safety = group.colliding_set
+        assert safety is not None
+        assert safety.num_objects == len(group.colliding_ids)
+        # Each safety copy must live on a node other than the object's home.
+        for node_id, shard in safety.shards.items():
+            for page in shard.pages:
+                for record in page.records:
+                    assert group.colliding_home[record["id"]] != node_id
+
+    def test_colliding_count_in_expected_range(self, cluster):
+        src, rep_a, rep_b = build_two_replicas(cluster, rows=2000)
+        group = register_replica(rep_a, rep_b, object_id_fn=lambda r: r["id"])
+        expected = expected_colliding_objects(2000, 4)
+        # Hash placement is not perfectly independent; allow a wide band.
+        assert 0.2 * expected <= group.num_colliding <= 3.0 * expected

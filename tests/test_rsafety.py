@@ -1,0 +1,121 @@
+"""Tests for concurrent r-node failure tolerance (paper Sec. 7 extension)."""
+
+import pytest
+
+from repro import MachineProfile, PangeaCluster
+from repro.placement import (
+    HashPartitioner,
+    ensure_r_safety,
+    expected_unsafe_ratio,
+    object_node_spread,
+    partition_set,
+    recover_concurrent_failures,
+    register_replica,
+)
+from repro.sim.devices import MB
+
+
+def build(num_nodes=5, rows=600):
+    cluster = PangeaCluster(
+        num_nodes=num_nodes, profile=MachineProfile.tiny(pool_bytes=32 * MB)
+    )
+    src = cluster.create_set("src", page_size=1 * MB, object_bytes=100)
+    src.add_data([{"a": i, "b": (i * 131) % 997, "id": i} for i in range(rows)])
+    rep_a = cluster.create_set("rep_a", page_size=1 * MB, object_bytes=100)
+    partition_set(src, rep_a, HashPartitioner(lambda r: r["a"], 20, key_name="a"))
+    rep_b = cluster.create_set("rep_b", page_size=1 * MB, object_bytes=100)
+    partition_set(src, rep_b, HashPartitioner(lambda r: r["b"], 20, key_name="b"))
+    group = register_replica(rep_a, rep_b, object_id_fn=lambda r: r["id"])
+    return cluster, group
+
+
+def all_ids(dataset, failed=()):
+    ids = set()
+    for node_id, shard in dataset.shards.items():
+        if node_id in failed:
+            continue
+        for page in shard.pages:
+            records = page.records
+            if not records and page.on_disk:
+                records = shard.file._payloads.get(page.page_id, [])
+            ids.update(r["id"] for r in records)
+    return ids
+
+
+class TestObjectNodeSpread:
+    def test_spread_covers_every_object(self):
+        _cluster, group = build()
+        spread = object_node_spread(group)
+        assert set(spread) == set(range(600))
+
+    def test_colliding_objects_spread_via_safety_set(self):
+        _cluster, group = build()
+        spread = object_node_spread(group)
+        # Thanks to the colliding-object set, every object spans >= 2 nodes.
+        assert all(len(nodes) >= 2 for nodes in spread.values())
+
+
+class TestEnsureRSafety:
+    def test_r1_is_already_satisfied(self):
+        cluster, group = build()
+        assert ensure_r_safety(cluster, group, r=1) is None
+
+    def test_r2_adds_copies_until_three_nodes(self):
+        cluster, group = build()
+        safety = ensure_r_safety(cluster, group, r=2)
+        spread = object_node_spread(group)
+        assert all(len(nodes) >= 3 for nodes in spread.values())
+        if safety is not None:
+            assert safety in group.extra_safety_sets
+
+    def test_r2_unsafety_before_and_after(self):
+        cluster, group = build()
+        spread = object_node_spread(group)
+        before = sum(1 for n in spread.values() if len(n) < 3) / len(spread)
+        # Two replicas can never span three nodes on their own.
+        assert before > 0.9
+        ensure_r_safety(cluster, group, r=2)
+        spread = object_node_spread(group)
+        after = sum(1 for n in spread.values() if len(n) < 3) / len(spread)
+        assert after == 0.0
+
+    def test_expected_unsafe_ratio_monotone_in_nodes(self):
+        assert expected_unsafe_ratio(20, 2) < expected_unsafe_ratio(5, 2)
+
+    def test_invalid_r_rejected(self):
+        cluster, group = build()
+        with pytest.raises(ValueError):
+            ensure_r_safety(cluster, group, r=0)
+        with pytest.raises(ValueError):
+            ensure_r_safety(cluster, group, r=cluster.num_nodes)
+
+
+class TestConcurrentRecovery:
+    def test_two_node_failure_with_r2_safety(self):
+        cluster, group = build()
+        ensure_r_safety(cluster, group, r=2)
+        report = recover_concurrent_failures(cluster, group, [1, 3])
+        assert report["unrecoverable"] == 0
+        everything = set(range(600))
+        for member in group.members:
+            assert all_ids(member, failed={1, 3}) == everything
+
+    def test_without_safety_some_objects_can_be_lost(self):
+        cluster, group = build()
+        # Find a pair of nodes that jointly hold all copies of something.
+        spread = object_node_spread(group)
+        target_pair = None
+        for nodes in spread.values():
+            if len(nodes) == 2:
+                target_pair = sorted(nodes)
+                break
+        if target_pair is None:
+            pytest.skip("no 2-node object at this scale")
+        report = recover_concurrent_failures(cluster, group, target_pair)
+        assert report["unrecoverable"] > 0
+
+    def test_recovery_reports_time(self):
+        cluster, group = build()
+        ensure_r_safety(cluster, group, r=2)
+        report = recover_concurrent_failures(cluster, group, [0, 2])
+        assert report["seconds"] > 0

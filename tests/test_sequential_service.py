@@ -1,0 +1,142 @@
+"""Tests for the sequential read/write service."""
+
+import pytest
+
+from repro import CurrentOperation, MachineProfile, PangeaCluster, ReadingPattern, WritingPattern
+from repro.services.sequential import (
+    PageIterator,
+    SequentialWriter,
+    make_page_iterators,
+    make_shard_iterators,
+)
+from repro.sim.devices import MB
+
+
+@pytest.fixture
+def cluster():
+    return PangeaCluster(num_nodes=2, profile=MachineProfile.tiny(pool_bytes=8 * MB))
+
+
+class TestSequentialWriter:
+    def test_writes_land_in_pages(self, cluster):
+        data = cluster.create_set("s", page_size=1 * MB, nodes=[0])
+        with SequentialWriter(data.shards[0]) as writer:
+            for i in range(10):
+                writer.add_object(i, nbytes=100)
+        assert data.num_objects == 10
+
+    def test_attributes_inferred_on_attach(self, cluster):
+        data = cluster.create_set("s", page_size=1 * MB, nodes=[0])
+        with SequentialWriter(data.shards[0]):
+            assert data.attributes.writing_pattern is WritingPattern.SEQUENTIAL_WRITE
+            assert data.attributes.current_operation is CurrentOperation.WRITE
+        assert data.attributes.current_operation is CurrentOperation.NONE
+
+    def test_unattached_writer_rejects_writes(self, cluster):
+        data = cluster.create_set("s", page_size=1 * MB, nodes=[0])
+        writer = SequentialWriter(data.shards[0])
+        with pytest.raises(RuntimeError):
+            writer.add_object("x", nbytes=10)
+
+    def test_page_rollover(self, cluster):
+        data = cluster.create_set("s", page_size=1 * MB, nodes=[0])
+        with SequentialWriter(data.shards[0]) as writer:
+            writer.add_data(["x"] * 3, nbytes_each=600 * 1024)
+        shard = data.shards[0]
+        assert len(shard.pages) == 3
+        assert shard.pages[0].sealed
+        assert not shard.pages[-1].pinned
+
+    def test_default_object_bytes(self, cluster):
+        data = cluster.create_set("s", page_size=1 * MB, nodes=[0], object_bytes=250)
+        with SequentialWriter(data.shards[0]) as writer:
+            writer.add_object("r")
+        assert data.logical_bytes == 250
+
+    def test_flush_seals_partial_page(self, cluster):
+        data = cluster.create_set("s", page_size=1 * MB, nodes=[0])
+        with SequentialWriter(data.shards[0]) as writer:
+            writer.add_object("x", nbytes=10)
+            writer.flush()
+        assert data.shards[0].pages[0].sealed
+
+    def test_writing_charges_time(self, cluster):
+        data = cluster.create_set("s", page_size=1 * MB, nodes=[0])
+        before = cluster.nodes[0].clock.now
+        with SequentialWriter(data.shards[0]) as writer:
+            writer.add_data(["x"] * 1000, nbytes_each=100)
+        assert cluster.nodes[0].clock.now > before
+
+
+class TestPageIterators:
+    def test_single_iterator_sees_all_pages(self, cluster):
+        data = cluster.create_set("s", page_size=1 * MB, object_bytes=100)
+        data.add_data(list(range(50)))
+        records = []
+        for iterator in make_page_iterators(data, 1):
+            for page in iterator:
+                records.extend(page.records)
+        assert sorted(records) == list(range(50))
+
+    def test_concurrent_iterators_partition_work(self, cluster):
+        data = cluster.create_set("s", page_size=1 * MB, object_bytes=300 * 1024,
+                                  nodes=[0])
+        data.add_data(["r"] * 12)  # several pages
+        iterators = make_page_iterators(data, 3)
+        seen = [sum(p.num_objects for p in it) for it in iterators]
+        assert sum(seen) == 12
+
+    def test_read_attributes_inferred(self, cluster):
+        data = cluster.create_set("s", page_size=1 * MB, object_bytes=100)
+        data.add_data(list(range(10)))
+        iterators = make_page_iterators(data, 2)
+        assert data.attributes.reading_pattern is ReadingPattern.SEQUENTIAL_READ
+        assert data.attributes.current_operation is CurrentOperation.READ
+        for iterator in iterators:
+            for _page in iterator:
+                pass
+        assert data.attributes.current_operation is CurrentOperation.NONE
+
+    def test_pages_unpinned_after_iteration(self, cluster):
+        data = cluster.create_set("s", page_size=1 * MB, object_bytes=100)
+        data.add_data(list(range(20)))
+        for iterator in make_page_iterators(data, 1):
+            for _page in iterator:
+                pass
+        for shard in data.shards.values():
+            assert all(not p.pinned for p in shard.pages)
+
+    def test_iterator_close_releases_pin(self, cluster):
+        data = cluster.create_set("s", page_size=1 * MB, object_bytes=100, nodes=[0])
+        data.add_data(list(range(10)))
+        iterator = make_page_iterators(data, 1)[0]
+        page = iterator.next()
+        assert page.pinned
+        iterator.close()
+        assert not page.pinned
+
+    def test_iteration_reloads_spilled_pages(self, cluster):
+        data = cluster.create_set(
+            "s", durability="write-back", page_size=1 * MB, object_bytes=256 * 1024,
+            nodes=[0],
+        )
+        data.add_data(list(range(64)))  # 16MB logical vs 8MB pool
+        assert cluster.nodes[0].pool.stats.evictions > 0
+        seen = sorted(data.scan_records())
+        assert seen == list(range(64))
+        assert cluster.nodes[0].pool.stats.pageins > 0
+
+    def test_shard_iterators_scope_to_one_node(self, cluster):
+        data = cluster.create_set("s", page_size=1 * MB, object_bytes=100)
+        data.add_data(list(range(40)))
+        shard0 = data.shards[0]
+        records = []
+        for iterator in make_shard_iterators(shard0, 2):
+            for page in iterator:
+                records.extend(page.records)
+        assert len(records) == shard0.num_objects
+
+    def test_zero_iterators_rejected(self, cluster):
+        data = cluster.create_set("s", page_size=1 * MB)
+        with pytest.raises(ValueError):
+            make_page_iterators(data, 0)

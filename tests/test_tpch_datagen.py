@@ -1,0 +1,116 @@
+"""Tests for the TPC-H data generator."""
+
+import pytest
+
+from repro.tpch.datagen import TpchGenerator
+from repro.tpch.schema import (
+    CURRENT_DATE,
+    NATIONS,
+    ORDER_PRIORITIES,
+    REGIONS,
+    SHIP_MODES,
+    rows_for,
+)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return TpchGenerator(scale=0.002, seed=7).all_tables()
+
+
+class TestCardinalities:
+    def test_fixed_dimension_tables(self, tables):
+        assert len(tables["region"]) == 5
+        assert len(tables["nation"]) == 25
+
+    def test_scaled_tables(self, tables):
+        assert len(tables["orders"]) == rows_for("orders", 0.002)
+        assert len(tables["customer"]) == rows_for("customer", 0.002)
+        assert len(tables["part"]) == rows_for("part", 0.002)
+
+    def test_lineitem_one_to_seven_per_order(self, tables):
+        per_order: dict = {}
+        for li in tables["lineitem"]:
+            per_order[li["l_orderkey"]] = per_order.get(li["l_orderkey"], 0) + 1
+        assert all(1 <= n <= 7 for n in per_order.values())
+
+    def test_partsupp_four_suppliers_per_part(self, tables):
+        per_part: dict = {}
+        for ps in tables["partsupp"]:
+            per_part.setdefault(ps["ps_partkey"], set()).add(ps["ps_suppkey"])
+        assert all(len(s) >= 1 for s in per_part.values())
+        assert len(per_part) == len(tables["part"])
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = TpchGenerator(scale=0.001, seed=3).all_tables()
+        b = TpchGenerator(scale=0.001, seed=3).all_tables()
+        assert a == b
+
+    def test_different_seed_different_data(self):
+        a = TpchGenerator(scale=0.001, seed=3).orders()
+        b = TpchGenerator(scale=0.001, seed=4).orders()
+        assert a != b
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            TpchGenerator(scale=0)
+
+
+class TestReferentialIntegrity:
+    def test_orders_reference_customers(self, tables):
+        customers = {c["c_custkey"] for c in tables["customer"]}
+        assert all(o["o_custkey"] in customers for o in tables["orders"])
+
+    def test_lineitems_reference_orders_and_parts(self, tables):
+        orders = {o["o_orderkey"] for o in tables["orders"]}
+        parts = {p["p_partkey"] for p in tables["part"]}
+        for li in tables["lineitem"]:
+            assert li["l_orderkey"] in orders
+            assert li["l_partkey"] in parts
+
+    def test_nations_reference_regions(self, tables):
+        regions = {r["r_regionkey"] for r in tables["region"]}
+        assert all(n["n_regionkey"] in regions for n in tables["nation"])
+
+
+class TestQueryCriticalDistributions:
+    def test_date_relationships(self, tables):
+        orders = {o["o_orderkey"]: o for o in tables["orders"]}
+        for li in tables["lineitem"]:
+            assert li["l_shipdate"] > orders[li["l_orderkey"]]["o_orderdate"]
+            assert li["l_receiptdate"] > li["l_shipdate"]
+
+    def test_divisible_by_three_customers_have_no_orders(self, tables):
+        assert all(o["o_custkey"] % 3 != 0 for o in tables["orders"])
+
+    def test_priorities_and_modes_from_spec(self, tables):
+        assert {o["o_orderpriority"] for o in tables["orders"]} <= set(ORDER_PRIORITIES)
+        assert {li["l_shipmode"] for li in tables["lineitem"]} <= set(SHIP_MODES)
+
+    def test_returnflag_consistent_with_receiptdate(self, tables):
+        for li in tables["lineitem"]:
+            if li["l_returnflag"] == "N":
+                assert li["l_receiptdate"] > CURRENT_DATE
+            else:
+                assert li["l_receiptdate"] <= CURRENT_DATE
+
+    def test_promo_parts_exist(self, tables):
+        assert any(p["p_type"].startswith("PROMO") for p in tables["part"])
+
+    def test_phone_country_codes(self, tables):
+        for c in tables["customer"]:
+            code = int(c["c_phone"].split("-")[0])
+            assert 10 <= code < 10 + len(NATIONS)
+            assert code == c["c_nationkey"] + 10
+
+    def test_region_names(self, tables):
+        assert [r["r_name"] for r in tables["region"]] == REGIONS
+
+    def test_special_requests_comments_exist(self):
+        tables = TpchGenerator(scale=0.01, seed=7).all_tables()
+        assert any(
+            "special" in o["o_comment"] and "requests" in o["o_comment"]
+            for o in tables["orders"]
+        )

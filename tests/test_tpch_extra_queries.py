@@ -1,0 +1,66 @@
+"""The five extension TPC-H queries must match their oracles."""
+
+import pytest
+
+from repro import MachineProfile, PangeaCluster
+from repro.query.scheduler import QueryScheduler
+from repro.sim.devices import GB, MB
+from repro.tpch import (
+    EXTRA_QUERIES,
+    EXTRA_REFERENCE_QUERIES,
+    load_tpch,
+    register_tpch_replicas,
+)
+
+from .conftest import rows_match
+
+SCALE = 0.004
+
+
+@pytest.fixture(scope="module")
+def plain():
+    cluster = PangeaCluster(num_nodes=3, profile=MachineProfile.tiny(pool_bytes=1 * GB))
+    tables = load_tpch(cluster, scale=SCALE)
+    return cluster, tables
+
+
+@pytest.fixture(scope="module")
+def replicated():
+    cluster = PangeaCluster(num_nodes=3, profile=MachineProfile.tiny(pool_bytes=1 * GB))
+    tables = load_tpch(cluster, scale=SCALE)
+    register_tpch_replicas(cluster)
+    return cluster, tables
+
+
+@pytest.mark.parametrize("name", sorted(EXTRA_QUERIES))
+def test_extra_query_matches_reference(plain, name):
+    cluster, tables = plain
+    scheduler = QueryScheduler(cluster, broadcast_threshold=4 * MB, object_bytes=144)
+    got = EXTRA_QUERIES[name](scheduler)
+    want = EXTRA_REFERENCE_QUERIES[name](tables)
+    assert rows_match(got, want), f"{name}: {got[:2]} != {want[:2]}"
+
+
+@pytest.mark.parametrize("name", sorted(EXTRA_QUERIES))
+def test_extra_query_matches_reference_with_replicas(replicated, name):
+    cluster, tables = replicated
+    scheduler = QueryScheduler(cluster, broadcast_threshold=4 * MB, object_bytes=144)
+    got = EXTRA_QUERIES[name](scheduler)
+    want = EXTRA_REFERENCE_QUERIES[name](tables)
+    assert rows_match(got, want), f"{name}: {got[:2]} != {want[:2]}"
+
+
+def test_extra_queries_have_informative_results(plain):
+    """At this scale Q03, Q05 and Q10 must produce non-trivial output."""
+    cluster, tables = plain
+    for name in ("Q03", "Q05", "Q10"):
+        rows = EXTRA_REFERENCE_QUERIES[name](tables)
+        assert rows, name
+
+
+def test_q19_disjunctive_predicate_is_selective(plain):
+    cluster, tables = plain
+    scheduler = QueryScheduler(cluster, broadcast_threshold=4 * MB, object_bytes=144)
+    result = EXTRA_QUERIES["Q19"](scheduler)
+    assert len(result) == 1
+    assert result[0]["revenue"] >= 0.0

@@ -1,0 +1,84 @@
+"""The nine TPC-H queries must match the reference oracle.
+
+Both with and without heterogeneous replicas (the physical strategy must
+never change the answer), and the Spark-baseline scheduler must agree too.
+"""
+
+import pytest
+
+from repro import MachineProfile, PangeaCluster
+from repro.baselines.spark import SparkTpchScheduler
+from repro.query.scheduler import QueryScheduler
+from repro.sim.devices import GB, MB
+from repro.tpch import QUERIES, REFERENCE_QUERIES, load_tpch, register_tpch_replicas
+
+from .conftest import rows_match
+
+SCALE = 0.004
+
+
+@pytest.fixture(scope="module")
+def plain():
+    cluster = PangeaCluster(num_nodes=3, profile=MachineProfile.tiny(pool_bytes=1 * GB))
+    tables = load_tpch(cluster, scale=SCALE)
+    return cluster, tables
+
+
+@pytest.fixture(scope="module")
+def replicated():
+    cluster = PangeaCluster(num_nodes=3, profile=MachineProfile.tiny(pool_bytes=1 * GB))
+    tables = load_tpch(cluster, scale=SCALE)
+    register_tpch_replicas(cluster)
+    return cluster, tables
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_query_matches_reference_without_replicas(plain, name):
+    cluster, tables = plain
+    scheduler = QueryScheduler(cluster, broadcast_threshold=4 * MB, object_bytes=144)
+    got = QUERIES[name](scheduler)
+    want = REFERENCE_QUERIES[name](tables)
+    assert rows_match(got, want), f"{name}: {got[:2]} != {want[:2]}"
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_query_matches_reference_with_replicas(replicated, name):
+    cluster, tables = replicated
+    scheduler = QueryScheduler(cluster, broadcast_threshold=4 * MB, object_bytes=144)
+    got = QUERIES[name](scheduler)
+    want = REFERENCE_QUERIES[name](tables)
+    assert rows_match(got, want), f"{name}: {got[:2]} != {want[:2]}"
+
+
+@pytest.mark.parametrize("name", ["Q04", "Q12", "Q13", "Q14", "Q17", "Q22"])
+def test_replica_queries_use_copartitioned_joins(replicated, name):
+    cluster, _tables = replicated
+    scheduler = QueryScheduler(cluster, broadcast_threshold=0, object_bytes=144)
+    QUERIES[name](scheduler)
+    assert scheduler.metrics.copartitioned_joins >= 1
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_spark_scheduler_agrees(plain, name):
+    cluster, tables = plain
+    scheduler = SparkTpchScheduler(
+        cluster, broadcast_threshold=4 * MB, object_bytes=144
+    )
+    got = QUERIES[name](scheduler)
+    want = REFERENCE_QUERIES[name](tables)
+    assert rows_match(got, want)
+
+
+def test_pangea_faster_than_spark_on_copartitioned_query(replicated):
+    cluster, _tables = replicated
+    cluster.reset_clocks()
+    pangea = QueryScheduler(cluster, broadcast_threshold=4 * MB, object_bytes=144)
+    start = cluster.simulated_seconds()
+    QUERIES["Q12"](pangea)
+    pangea_seconds = cluster.simulated_seconds() - start
+
+    spark = SparkTpchScheduler(cluster, broadcast_threshold=4 * MB, object_bytes=144)
+    start = cluster.simulated_seconds()
+    QUERIES["Q12"](spark)
+    spark_seconds = cluster.simulated_seconds() - start
+    assert spark_seconds > pangea_seconds * 3

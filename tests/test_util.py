@@ -1,0 +1,59 @@
+"""Tests for shared helpers."""
+
+import pytest
+
+from repro.util import estimate_bytes, stable_hash
+
+
+class TestEstimateBytes:
+    def test_primitives(self):
+        assert estimate_bytes(True) == 1
+        assert estimate_bytes(42) == 8
+        assert estimate_bytes(3.14) == 8
+
+    def test_strings_and_bytes(self):
+        assert estimate_bytes("hello") == 5
+        assert estimate_bytes(b"abc") == 3
+        assert estimate_bytes("") == 1  # never zero
+
+    def test_containers(self):
+        assert estimate_bytes((1, 2)) == 8 + 16
+        assert estimate_bytes([1, 2, 3]) == 8 + 24
+        assert estimate_bytes({"a": 1}) == 8 + 1 + 8
+
+    def test_unknown_objects_get_default(self):
+        class Thing:
+            pass
+
+        assert estimate_bytes(Thing()) == 64
+
+    def test_nested(self):
+        value = {"k": [1, "xy"]}
+        assert estimate_bytes(value) == 8 + 1 + (8 + 8 + 2)
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        for value in (0, -17, "abc", b"abc", ("a", 1), 10 ** 18):
+            assert stable_hash(value) == stable_hash(value)
+
+    def test_int_and_string_differ(self):
+        assert stable_hash(5) != stable_hash("5")
+
+    def test_tuple_order_matters(self):
+        assert stable_hash((1, 2)) != stable_hash((2, 1))
+
+    def test_distribution_over_partitions(self):
+        counts = [0] * 8
+        for i in range(8000):
+            counts[stable_hash(i) % 8] += 1
+        assert min(counts) > 800  # roughly uniform
+
+    def test_string_distribution(self):
+        counts = [0] * 8
+        for i in range(4000):
+            counts[stable_hash(f"key-{i}") % 8] += 1
+        assert min(counts) > 350
+
+    def test_negative_ints_bounded(self):
+        assert 0 <= stable_hash(-12345) < 2 ** 64
