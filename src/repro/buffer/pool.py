@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -67,8 +68,16 @@ class _SlabPoolAdapter:
         return offset
 
     def free(self, offset: int) -> int:
-        size = self._sizes.pop(offset)
+        size = self._sizes.pop(offset, None)
+        if size is None:
+            raise ValueError(f"no allocated page at offset {offset}")
         self._slab.free(offset, size)
+        return self._slab.chunk_size_for(size)
+
+    def allocated_size(self, offset: int) -> int:
+        size = self._sizes.get(offset)
+        if size is None:
+            raise ValueError(f"no allocated page at offset {offset}")
         return self._slab.chunk_size_for(size)
 
 
@@ -77,8 +86,18 @@ class BufferPool:
 
     ``evictor`` is a callable ``(needed_bytes) -> bool`` installed by the
     paging system; it must evict at least one page (or return ``False`` when
-    nothing is evictable).  Placement retries until the allocator succeeds
-    or the evictor gives up.
+    nothing is evictable).  Placement retries until the allocator succeeds,
+    the evictor gives up, an eviction round makes no progress (reports
+    success but frees no bytes), or ``max_eviction_rounds`` is exhausted —
+    the last two conditions bound the retry loop so a buggy or starved
+    evictor surfaces as :class:`BufferPoolFullError` instead of a livelock.
+
+    Thread-safe: :attr:`lock` is the node's storage lock, a reentrant lock
+    guarding the allocator, the resident-page table, pin counts, and the
+    stats counters.  It is reentrant because eviction re-enters the pool:
+    ``place`` → evictor → ``LocalShard.evict_page`` → ``release``.  Lock
+    ordering is documented in ``docs/api.md`` ("Concurrency model"): the
+    pool lock is acquired before the paging-system lock, never after.
     """
 
     def __init__(
@@ -86,9 +105,12 @@ class BufferPool:
         capacity: int,
         allocator: str = "tlsf",
         max_page_size: int | None = None,
+        max_eviction_rounds: int = 4096,
     ) -> None:
         if capacity <= 0:
             raise ValueError("buffer pool capacity must be positive")
+        if max_eviction_rounds < 1:
+            raise ValueError("max_eviction_rounds must be positive")
         self.capacity = capacity
         if allocator == "tlsf":
             self._alloc = TlsfAllocator(capacity)
@@ -97,9 +119,13 @@ class BufferPool:
         else:
             raise ValueError(f"unknown pool allocator {allocator!r} (tlsf|slab)")
         self.allocator_kind = allocator
+        self.max_eviction_rounds = max_eviction_rounds
         self.pages: dict[int, Page] = {}
         self.evictor: Callable[[int], bool] | None = None
         self.stats = PoolStats()
+        #: The node's storage lock; shards and the paging system take it
+        #: around every page-state transition.
+        self.lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # placement and release
@@ -107,31 +133,54 @@ class BufferPool:
 
     def place(self, page: Page) -> None:
         """Give ``page`` a memory location, evicting others if necessary."""
-        if page.in_memory:
-            raise ValueError(f"page {page.page_id} is already in memory")
-        while True:
-            offset = self._alloc.malloc(page.size)
-            if offset is not None:
-                page.offset = offset
-                self.pages[page.page_id] = page
-                self.stats.placements += 1
-                return
-            if self.evictor is None or not self.evictor(page.size):
-                raise BufferPoolFullError(
-                    f"cannot place a {page.size}-byte page: pool has "
-                    f"{self.free_bytes} free bytes and nothing evictable"
-                )
+        with self.lock:
+            if page.in_memory:
+                raise ValueError(f"page {page.page_id} is already in memory")
+            rounds = 0
+            while True:
+                offset = self._alloc.malloc(page.size)
+                if offset is not None:
+                    page.offset = offset
+                    self.pages[page.page_id] = page
+                    self.stats.placements += 1
+                    return
+                if self.evictor is None:
+                    raise BufferPoolFullError(
+                        f"cannot place a {page.size}-byte page: pool has "
+                        f"{self.free_bytes} free bytes and no evictor installed"
+                    )
+                if rounds >= self.max_eviction_rounds:
+                    raise BufferPoolFullError(
+                        f"cannot place a {page.size}-byte page after "
+                        f"{rounds} eviction rounds ({self.free_bytes} free bytes)"
+                    )
+                used_before = self._alloc.used_bytes
+                if not self.evictor(page.size):
+                    raise BufferPoolFullError(
+                        f"cannot place a {page.size}-byte page: pool has "
+                        f"{self.free_bytes} free bytes and nothing evictable"
+                    )
+                rounds += 1
+                if self._alloc.used_bytes >= used_before:
+                    raise BufferPoolFullError(
+                        f"eviction round {rounds} reported success but freed "
+                        f"no bytes; refusing to retry placement of a "
+                        f"{page.size}-byte page"
+                    )
 
     def release(self, page: Page) -> None:
         """Drop ``page`` from memory (payload stays with the caller)."""
-        if not page.in_memory:
-            raise ValueError(f"page {page.page_id} is not in memory")
-        if page.pinned:
-            raise ValueError(f"page {page.page_id} is pinned and cannot be released")
-        self._alloc.free(page.offset)
-        page.offset = None
-        del self.pages[page.page_id]
-        self.stats.releases += 1
+        with self.lock:
+            if not page.in_memory:
+                raise ValueError(f"page {page.page_id} is not in memory")
+            if page.pinned:
+                raise ValueError(
+                    f"page {page.page_id} is pinned and cannot be released"
+                )
+            self._alloc.free(page.offset)
+            page.offset = None
+            del self.pages[page.page_id]
+            self.stats.releases += 1
 
     # ------------------------------------------------------------------
     # pinning
@@ -139,16 +188,18 @@ class BufferPool:
 
     def pin(self, page: Page) -> None:
         """Pin an in-memory page (reference counted)."""
-        if not page.in_memory:
-            raise ValueError(
-                f"page {page.page_id} must be placed in memory before pinning"
-            )
-        page.pin_count += 1
+        with self.lock:
+            if not page.in_memory:
+                raise ValueError(
+                    f"page {page.page_id} must be placed in memory before pinning"
+                )
+            page.pin_count += 1
 
     def unpin(self, page: Page) -> None:
-        if page.pin_count <= 0:
-            raise ValueError(f"page {page.page_id} is not pinned")
-        page.pin_count -= 1
+        with self.lock:
+            if page.pin_count <= 0:
+                raise ValueError(f"page {page.page_id} is not pinned")
+            page.pin_count -= 1
 
     # ------------------------------------------------------------------
     # introspection
@@ -163,7 +214,46 @@ class BufferPool:
         return self.capacity - self._alloc.used_bytes
 
     def resident_pages(self) -> Iterable[Page]:
-        return self.pages.values()
+        with self.lock:
+            return list(self.pages.values())
+
+    def check_invariants(self) -> None:
+        """Verify residency, overlap, and accounting invariants (tests).
+
+        Asserts that every resident page has an offset, no two resident
+        pages overlap in the arena, no page is simultaneously evicted and
+        pinned, and the allocator's ``used_bytes`` reconciles exactly with
+        the blocks backing the resident pages.
+        """
+        with self.lock:
+            spans: list[tuple[int, int, int]] = []
+            accounted = 0
+            for page in self.pages.values():
+                if not page.in_memory:
+                    raise AssertionError(
+                        f"page {page.page_id} is in the resident table "
+                        f"without a memory offset"
+                    )
+                allocated = self._alloc.allocated_size(page.offset)
+                if allocated < page.size:
+                    raise AssertionError(
+                        f"page {page.page_id} holds {page.size} bytes in a "
+                        f"{allocated}-byte block"
+                    )
+                accounted += allocated
+                spans.append((page.offset, allocated, page.page_id))
+            spans.sort()
+            for (o1, s1, id1), (o2, _s2, id2) in zip(spans, spans[1:]):
+                if o1 + s1 > o2:
+                    raise AssertionError(
+                        f"pages {id1} and {id2} overlap in the pool "
+                        f"([{o1}, {o1 + s1}) vs offset {o2})"
+                    )
+            if accounted != self._alloc.used_bytes:
+                raise AssertionError(
+                    f"allocator accounting drifted: resident pages occupy "
+                    f"{accounted} bytes but used_bytes is {self._alloc.used_bytes}"
+                )
 
     def __contains__(self, page: Page) -> bool:
         return page.page_id in self.pages

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 from repro.buffer.pool import BufferPool
 from repro.core.paging import PagingSystem
 from repro.fs.node_fs import PangeaNodeFS
@@ -41,12 +43,14 @@ class WorkerNode:
         self.pool.evictor = self.paging.make_room
         self.fs = PangeaNodeFS(self.disks)
         self._page_counter = 0
+        self._page_counter_lock = threading.Lock()
         self.failed = False
 
     def next_page_id(self) -> int:
         """Node-local page ids; globally unique as (node_id, page_id)."""
-        self._page_counter += 1
-        return self._page_counter
+        with self._page_counter_lock:
+            self._page_counter += 1
+            return self._page_counter
 
     def fail(self) -> None:
         """Simulate a node crash (used by the recovery benchmarks)."""

@@ -10,6 +10,7 @@ worker, their buffer-pool placement, and their on-disk images.
 
 from __future__ import annotations
 
+import threading
 import typing
 
 from repro.buffer.page import Page
@@ -27,7 +28,16 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guards
 
 
 class LocalShard:
-    """The pages of one locality set on one worker node."""
+    """The pages of one locality set on one worker node.
+
+    Page-state transitions (place, pin, unpin, evict, drop) run under the
+    node's storage lock (:attr:`BufferPool.lock <repro.buffer.pool.BufferPool.lock>`),
+    so concurrent workers of a threaded
+    :class:`~repro.compute.workers.WorkerPool` cannot observe a page
+    half-placed or race a pin against an eviction.  The lock is reentrant:
+    ``pin_page`` → ``pool.place`` → evictor → ``evict_page`` →
+    ``pool.release`` all happen on one thread's acquisition.
+    """
 
     def __init__(self, dataset: "LocalitySet", node: "WorkerNode") -> None:
         self.dataset = dataset
@@ -65,25 +75,27 @@ class LocalShard:
 
     def new_page(self, pin: bool = True) -> Page:
         """Allocate and place a fresh page of the set's page size."""
-        page = Page(self.node.next_page_id(), self.page_size, shard=self)
-        page.created_tick = self.paging.tick()
-        page.last_access_tick = page.created_tick
-        self.paging.note_access(page)
-        self.pool.place(page)
-        if pin:
-            self.pool.pin(page)
-        self.pages.append(page)
-        self._by_id[page.page_id] = page
-        self.attributes.access_recency = page.last_access_tick
-        return page
+        with self.pool.lock:
+            page = Page(self.node.next_page_id(), self.page_size, shard=self)
+            page.created_tick = self.paging.tick()
+            page.last_access_tick = page.created_tick
+            self.paging.note_access(page)
+            self.pool.place(page)
+            if pin:
+                self.pool.pin(page)
+            self.pages.append(page)
+            self._by_id[page.page_id] = page
+            self.attributes.access_recency = page.last_access_tick
+            return page
 
     def seal_page(self, page: Page) -> None:
         """Finish writing a page; write-through sets persist it immediately."""
-        page.seal()
-        if self.attributes.durability is DurabilityType.WRITE_THROUGH:
-            self.file.write_page(page.page_id, page.records, page.size)
-            page.on_disk = True
-            page.dirty = False
+        with self.pool.lock:
+            page.seal()
+            if self.attributes.durability is DurabilityType.WRITE_THROUGH:
+                self.file.write_page(page.page_id, page.records, page.size)
+                page.on_disk = True
+                page.dirty = False
 
     def touch(self, page: Page) -> None:
         """Record a page access for the recency model."""
@@ -93,29 +105,30 @@ class LocalShard:
 
     def pin_page(self, page: Page) -> Page:
         """Pin a page, reloading it from disk if it was evicted."""
-        if not page.in_memory:
-            if not page.on_disk:
-                raise ValueError(
-                    f"page {page.page_id} of set {self.dataset.name!r} is "
-                    f"neither in memory nor on disk"
-                )
-            records, _cost = self.file.read_page(page.page_id)
-            self.pool.place(page)
-            page.records = records
-            page.dirty = False
-            self.pool.stats.pageins += 1
-            self.pool.stats.bytes_paged_in += page.size
-            # Re-reading spilled random-access data pays a reconstruction
-            # penalty (the paper's wr > 1): rebuild costs CPU time.
-            if self.attributes.reading_pattern is ReadingPattern.RANDOM_READ:
-                extra = self.attributes.random_reread_penalty - 1.0
-                if extra > 0:
-                    self.node.cpu.compute(
-                        extra * page.size / self.node.disks.disks[0].read_bandwidth
+        with self.pool.lock:
+            if not page.in_memory:
+                if not page.on_disk:
+                    raise ValueError(
+                        f"page {page.page_id} of set {self.dataset.name!r} is "
+                        f"neither in memory nor on disk"
                     )
-        self.pool.pin(page)
-        self.touch(page)
-        return page
+                records, _cost = self.file.read_page(page.page_id)
+                self.pool.place(page)
+                page.records = records
+                page.dirty = False
+                self.pool.stats.pageins += 1
+                self.pool.stats.bytes_paged_in += page.size
+                # Re-reading spilled random-access data pays a reconstruction
+                # penalty (the paper's wr > 1): rebuild costs CPU time.
+                if self.attributes.reading_pattern is ReadingPattern.RANDOM_READ:
+                    extra = self.attributes.random_reread_penalty - 1.0
+                    if extra > 0:
+                        self.node.cpu.compute(
+                            extra * page.size / self.node.disks.disks[0].read_bandwidth
+                        )
+            self.pool.pin(page)
+            self.touch(page)
+            return page
 
     def unpin_page(self, page: Page) -> None:
         self.pool.unpin(page)
@@ -127,36 +140,38 @@ class LocalShard:
         first (the paper's ``cw`` term becomes real I/O here); pages of
         dead sets or already-persisted pages are simply dropped.
         """
-        if page.pinned:
-            raise ValueError(f"cannot evict pinned page {page.page_id}")
-        if not page.in_memory:
-            raise ValueError(f"page {page.page_id} is not in memory")
-        must_flush = (
-            page.dirty
-            and self.attributes.alive
-            and not page.on_disk
-        )
-        if must_flush:
-            self.file.write_page(page.page_id, page.records, page.size)
-            page.on_disk = True
-            page.dirty = False
-            self.pool.stats.pageouts += 1
-            self.pool.stats.bytes_paged_out += page.size
-        freed = page.size
-        self.pool.release(page)
-        page.records = []
-        self.pool.stats.evictions += 1
-        return freed
+        with self.pool.lock:
+            if page.pinned:
+                raise ValueError(f"cannot evict pinned page {page.page_id}")
+            if not page.in_memory:
+                raise ValueError(f"page {page.page_id} is not in memory")
+            must_flush = (
+                page.dirty
+                and self.attributes.alive
+                and not page.on_disk
+            )
+            if must_flush:
+                self.file.write_page(page.page_id, page.records, page.size)
+                page.on_disk = True
+                page.dirty = False
+                self.pool.stats.pageouts += 1
+                self.pool.stats.bytes_paged_out += page.size
+            freed = page.size
+            self.pool.release(page)
+            page.records = []
+            self.pool.stats.evictions += 1
+            return freed
 
     def drop_page(self, page: Page) -> None:
         """Remove a page from the shard entirely (set deletion/truncation)."""
-        if page.in_memory:
-            if page.pinned:
-                raise ValueError(f"cannot drop pinned page {page.page_id}")
-            self.pool.release(page)
-        self.file.drop_page(page.page_id)
-        self.pages.remove(page)
-        del self._by_id[page.page_id]
+        with self.pool.lock:
+            if page.in_memory:
+                if page.pinned:
+                    raise ValueError(f"cannot drop pinned page {page.page_id}")
+                self.pool.release(page)
+            self.file.drop_page(page.page_id)
+            self.pages.remove(page)
+            del self._by_id[page.page_id]
 
     def clear(self) -> None:
         """Drop every page.  Data organized in large blocks deallocates in
@@ -169,10 +184,12 @@ class LocalShard:
     # ------------------------------------------------------------------
 
     def resident_unpinned_pages(self) -> list[Page]:
-        return [p for p in self.pages if p.in_memory and not p.pinned]
+        with self.pool.lock:
+            return [p for p in self.pages if p.in_memory and not p.pinned]
 
     def resident_pages(self) -> list[Page]:
-        return [p for p in self.pages if p.in_memory]
+        with self.pool.lock:
+            return [p for p in self.pages if p.in_memory]
 
     @property
     def num_objects(self) -> int:
@@ -218,6 +235,9 @@ class LocalitySet:
         self.partitioner: "object | None" = None
         self.replica_group_id: int | None = None
         self._dispatch_cursor = 0
+        #: Guards the dispatch cursor and the reader/writer attachment
+        #: counters against concurrent service attach/detach.
+        self._service_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # shard management
@@ -239,8 +259,9 @@ class LocalitySet:
     def next_dispatch_shard(self) -> LocalShard:
         """Round-robin dispatch target for randomly dispatched sets."""
         node_ids = sorted(self.shards)
-        node_id = node_ids[self._dispatch_cursor % len(node_ids)]
-        self._dispatch_cursor += 1
+        with self._service_lock:
+            node_id = node_ids[self._dispatch_cursor % len(node_ids)]
+            self._dispatch_cursor += 1
         return self.shards[node_id]
 
     # ------------------------------------------------------------------

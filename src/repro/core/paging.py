@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import typing
 from collections import deque
 from dataclasses import dataclass
@@ -44,6 +45,12 @@ class PagingSystem:
     free space; the policy picks a victim locality set and a batch of its
     pages, and this class performs the evictions (flushing dirty write-back
     pages through the set's file).
+
+    Thread-safe: the shard registry, stats, trace ring, and policy access
+    are guarded by a reentrant lock.  :meth:`make_room` runs with the
+    buffer pool's storage lock already held (pool → paging is the lock
+    order; see docs/api.md "Concurrency model"), so victim selection and
+    eviction are atomic with respect to concurrent pins.
     """
 
     def __init__(
@@ -56,6 +63,7 @@ class PagingSystem:
         self.policy = policy
         self._ticks = TickCounter()
         self._shards: list[LocalShard] = []
+        self._lock = threading.RLock()
         self.stats = PagingStats()
         #: Bounded eviction trace; enable with enable_trace() or a
         #: positive trace_capacity.
@@ -65,25 +73,32 @@ class PagingSystem:
 
     def enable_trace(self, capacity: int = 1024) -> None:
         """Start recording eviction events (bounded ring)."""
-        self.trace = deque(maxlen=capacity)
+        if capacity < 1:
+            raise ValueError("trace capacity must be positive")
+        with self._lock:
+            self.trace = deque(maxlen=capacity)
 
     def disable_trace(self) -> None:
-        self.trace = None
+        with self._lock:
+            self.trace = None
 
     # ------------------------------------------------------------------
     # registration and ticking
     # ------------------------------------------------------------------
 
     def register_shard(self, shard: "LocalShard") -> None:
-        self._shards.append(shard)
+        with self._lock:
+            self._shards.append(shard)
 
     def unregister_shard(self, shard: "LocalShard") -> None:
-        if shard in self._shards:
-            self._shards.remove(shard)
+        with self._lock:
+            if shard in self._shards:
+                self._shards.remove(shard)
 
     @property
     def shards(self) -> "list[LocalShard]":
-        return list(self._shards)
+        with self._lock:
+            return list(self._shards)
 
     def tick(self) -> int:
         """Advance the access-sequence counter (one buffer-pool access)."""
@@ -94,7 +109,8 @@ class PagingSystem:
         GreedyDual); the default policies only need last_access_tick."""
         on_access = getattr(self.policy, "on_access", None)
         if on_access is not None:
-            on_access(page, self._ticks.now)
+            with self._lock:
+                on_access(page, self._ticks.now)
 
     @property
     def current_tick(self) -> int:
@@ -105,41 +121,51 @@ class PagingSystem:
     # ------------------------------------------------------------------
 
     def make_room(self, needed_bytes: int) -> bool:
-        """Evict at least one page; ``False`` when nothing is evictable.
+        """Evict at least one page; ``False`` when nothing was evicted.
 
         Installed as the buffer pool's evictor.  The pool retries its
         allocation after every successful round, so a single round only
         needs to make progress, not to free ``needed_bytes`` exactly.
+        Victims that became pinned (or were already evicted) between
+        selection and eviction are skipped; a round that skips every
+        victim reports ``False`` so the pool raises instead of retrying
+        forever.
         """
-        victims = self.policy.select_victims(self._shards, needed_bytes)
-        if not victims:
-            return False
-        self.stats.eviction_rounds += 1
-        for page in victims:
-            if page.shard is None:  # pragma: no cover - defensive
-                continue
-            if not page.in_memory or page.pinned:
-                continue
-            was_dirty = page.dirty
-            page.shard.evict_page(page)
-            self.stats.pages_evicted += 1
-            if self.trace is not None:
-                self.trace.append(
-                    EvictionEvent(
-                        tick=self._ticks.now,
-                        set_name=page.shard.dataset.name,
-                        page_id=page.page_id,
-                        was_dirty=was_dirty,
-                        flushed=page.on_disk and was_dirty,
-                        policy=self.policy.name,
+        with self._lock:
+            victims = self.policy.select_victims(self._shards, needed_bytes)
+            if not victims:
+                return False
+            evicted = 0
+            for page in victims:
+                if page.shard is None:  # pragma: no cover - defensive
+                    continue
+                if not page.in_memory or page.pinned:
+                    continue
+                was_dirty = page.dirty
+                page.shard.evict_page(page)
+                evicted += 1
+                self.stats.pages_evicted += 1
+                if self.trace is not None:
+                    self.trace.append(
+                        EvictionEvent(
+                            tick=self._ticks.now,
+                            set_name=page.shard.dataset.name,
+                            page_id=page.page_id,
+                            was_dirty=was_dirty,
+                            flushed=page.on_disk and was_dirty,
+                            policy=self.policy.name,
+                        )
                     )
-                )
-        return True
+            if evicted == 0:
+                return False
+            self.stats.eviction_rounds += 1
+            return True
 
     def set_policy(self, policy: "PagingPolicy | str") -> None:
         if isinstance(policy, str):
             policy = make_policy(policy)
-        self.policy = policy
+        with self._lock:
+            self.policy = policy
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PagingSystem(policy={self.policy.name}, shards={len(self._shards)})"

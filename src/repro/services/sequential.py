@@ -13,6 +13,7 @@ when done.
 
 from __future__ import annotations
 
+import threading
 import typing
 
 from repro.buffer.page import Page
@@ -67,8 +68,9 @@ class SequentialWriter:
             return
         _check_alive(self.shard)
         dataset = self.shard.dataset
-        dataset.active_writers += 1
-        dataset.attributes.note_write_service(WritingPattern.SEQUENTIAL_WRITE)
+        with dataset._service_lock:
+            dataset.active_writers += 1
+            dataset.attributes.note_write_service(WritingPattern.SEQUENTIAL_WRITE)
         self._attached = True
 
     def close(self) -> None:
@@ -78,10 +80,11 @@ class SequentialWriter:
             self._page = None
         if self._attached:
             dataset = self.shard.dataset
-            dataset.active_writers -= 1
-            dataset.attributes.note_service_detached(
-                dataset.active_readers, dataset.active_writers
-            )
+            with dataset._service_lock:
+                dataset.active_writers -= 1
+                dataset.attributes.note_service_detached(
+                    dataset.active_readers, dataset.active_writers
+                )
             self._attached = False
 
     # ------------------------------------------------------------------
@@ -136,28 +139,38 @@ class SequentialWriter:
 
 
 class _SharedCursor:
-    """The thread-safe circular buffer the computation workers pull from."""
+    """The thread-safe circular buffer the computation workers pull from.
+
+    Several :class:`PageIterator` workers share one cursor; a mutex makes
+    the claim of each page atomic so no page is served twice and the
+    detach (fired by the last iterator to finish) happens exactly once.
+    """
 
     def __init__(self, pages: list[Page], dataset: "LocalitySet") -> None:
         self.pages = pages
         self.dataset = dataset
         self.index = 0
         self.active_iterators = 0
+        self._lock = threading.Lock()
 
     def next_page(self) -> Page | None:
-        if self.index >= len(self.pages):
-            return None
-        page = self.pages[self.index]
-        self.index += 1
-        return page
+        with self._lock:
+            if self.index >= len(self.pages):
+                return None
+            page = self.pages[self.index]
+            self.index += 1
+            return page
 
     def iterator_done(self) -> None:
-        self.active_iterators -= 1
-        if self.active_iterators == 0:
-            self.dataset.active_readers -= 1
-            self.dataset.attributes.note_service_detached(
-                self.dataset.active_readers, self.dataset.active_writers
-            )
+        with self._lock:
+            self.active_iterators -= 1
+            last = self.active_iterators == 0
+        if last:
+            with self.dataset._service_lock:
+                self.dataset.active_readers -= 1
+                self.dataset.attributes.note_service_detached(
+                    self.dataset.active_readers, self.dataset.active_writers
+                )
 
 
 class PageIterator:
@@ -173,7 +186,8 @@ class PageIterator:
         self._workers = workers
         self._current: Page | None = None
         self._done = False
-        cursor.active_iterators += 1
+        with cursor._lock:
+            cursor.active_iterators += 1
 
     def next(self) -> Page | None:
         if self._current is not None:
@@ -217,8 +231,9 @@ def make_shard_iterators(shard: "LocalShard", num_threads: int = 1) -> list[Page
         raise ValueError("need at least one iterator")
     _check_alive(shard)
     dataset = shard.dataset
-    dataset.active_readers += 1
-    dataset.attributes.note_read_service(ReadingPattern.SEQUENTIAL_READ)
+    with dataset._service_lock:
+        dataset.active_readers += 1
+        dataset.attributes.note_read_service(ReadingPattern.SEQUENTIAL_READ)
     shard.node.network.message(1)
     cursor = _SharedCursor(list(shard.pages), dataset)
     return [PageIterator(cursor, num_threads) for _ in range(num_threads)]
@@ -232,8 +247,9 @@ def make_page_iterators(dataset: "LocalitySet", num_threads: int = 1) -> list[Pa
     """
     if num_threads < 1:
         raise ValueError("need at least one iterator")
-    dataset.active_readers += 1
-    dataset.attributes.note_read_service(ReadingPattern.SEQUENTIAL_READ)
+    with dataset._service_lock:
+        dataset.active_readers += 1
+        dataset.attributes.note_read_service(ReadingPattern.SEQUENTIAL_READ)
     pages: list[Page] = []
     for node_id in sorted(dataset.shards):
         shard = dataset.shards[node_id]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 
 class SimClock:
     """A monotonically advancing accumulator of simulated seconds.
@@ -11,12 +13,18 @@ class SimClock:
     Cluster-wide stage barriers synchronize all node clocks to the maximum,
     which models the bulk-synchronous execution used by the paper's
     distributed benchmarks.
+
+    Thread-safe: the threaded :class:`~repro.compute.workers.WorkerPool`
+    runs several OS threads per node, all charging the same clock, so the
+    read-modify-write in :meth:`advance` is guarded by a leaf lock (held
+    for the increment only, never while calling out).
     """
 
     def __init__(self, now: float = 0.0) -> None:
         if now < 0:
             raise ValueError(f"clock cannot start at negative time: {now}")
         self._now = float(now)
+        self._lock = threading.Lock()
 
     @property
     def now(self) -> float:
@@ -27,18 +35,21 @@ class SimClock:
         """Charge ``seconds`` of simulated time and return the new time."""
         if seconds < 0:
             raise ValueError(f"cannot advance clock by negative time: {seconds}")
-        self._now += seconds
-        return self._now
+        with self._lock:
+            self._now += seconds
+            return self._now
 
     def advance_to(self, when: float) -> float:
         """Move the clock forward to ``when`` (no-op if already past it)."""
-        if when > self._now:
-            self._now = when
-        return self._now
+        with self._lock:
+            if when > self._now:
+                self._now = when
+            return self._now
 
     def reset(self) -> None:
         """Rewind to time zero (used between benchmark runs)."""
-        self._now = 0.0
+        with self._lock:
+            self._now = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimClock(now={self._now:.6f})"
@@ -51,10 +62,14 @@ class TickCounter:
     which are buffer-pool access events rather than seconds.  The paging
     system increments this counter on every page access and stores the tick
     of the last reference on each page.
+
+    Thread-safe: concurrent workers touching pages race on :meth:`next`;
+    the leaf lock makes each tick unique and strictly increasing.
     """
 
     def __init__(self) -> None:
         self._tick = 0
+        self._lock = threading.Lock()
 
     @property
     def now(self) -> int:
@@ -62,11 +77,13 @@ class TickCounter:
 
     def next(self) -> int:
         """Advance by one access event and return the new tick."""
-        self._tick += 1
-        return self._tick
+        with self._lock:
+            self._tick += 1
+            return self._tick
 
     def reset(self) -> None:
-        self._tick = 0
+        with self._lock:
+            self._tick = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TickCounter(now={self._tick})"

@@ -1,0 +1,137 @@
+"""Seeded multi-threaded stress over place/pin/unpin/evict/drop.
+
+Four OS threads share one node's buffer pool and paging system, each
+driving its own locality set through a seeded random schedule of page
+operations while evictions triggered by pool pressure cut across all of
+them.  The harness invariants (no pinned-and-evicted page, exact
+allocator accounting, no overlapping placements) are asserted throughout
+and at the end.
+"""
+
+import random
+
+import pytest
+
+from repro import MachineProfile, PangeaCluster
+from repro.buffer.pool import BufferPoolFullError
+from repro.sim.devices import MB
+
+from .harness import check_invariants, run_threads, stress_seeds
+
+THREADS = 4
+OPS_PER_THREAD = 120
+PAGE = 256 * 1024
+
+
+def make_cluster(allocator: str = "tlsf") -> PangeaCluster:
+    return PangeaCluster(
+        num_nodes=1,
+        profile=MachineProfile.tiny(pool_bytes=3 * MB),
+        pool_allocator=allocator,
+    )
+
+
+def stress_worker(node, shard, seed):
+    """One thread's schedule: create, pin, unpin, drop, tolerate pressure."""
+
+    def run():
+        rng = random.Random(seed)
+        owned = []
+        pinned = []
+        for step in range(OPS_PER_THREAD):
+            roll = rng.random()
+            try:
+                if roll < 0.35 or not owned:
+                    page = shard.new_page(pin=True)
+                    page.append({"seed": seed, "step": step}, 64)
+                    shard.seal_page(page)
+                    owned.append(page)
+                    pinned.append(page)
+                elif roll < 0.60 and pinned:
+                    page = pinned.pop(rng.randrange(len(pinned)))
+                    shard.unpin_page(page)
+                elif roll < 0.85:
+                    page = rng.choice(owned)
+                    if page not in pinned:
+                        shard.pin_page(page)
+                        pinned.append(page)
+                else:
+                    unpinned = [p for p in owned if p not in pinned]
+                    if unpinned:
+                        page = rng.choice(unpinned)
+                        shard.drop_page(page)
+                        owned.remove(page)
+            except BufferPoolFullError:
+                # Legitimate when every resident page is pinned; shed our
+                # pins so the other threads can make progress.
+                while pinned:
+                    shard.unpin_page(pinned.pop())
+            if pinned and len(pinned) > 3:
+                shard.unpin_page(pinned.pop(0))
+            if step % 10 == 0:
+                check_invariants(node)
+        while pinned:
+            shard.unpin_page(pinned.pop())
+
+    return run
+
+
+@pytest.mark.parametrize("seed", stress_seeds())
+@pytest.mark.parametrize("allocator", ["tlsf", "slab"])
+def test_concurrent_page_lifecycle(seed, allocator):
+    cluster = make_cluster(allocator)
+    node = cluster.nodes[0]
+    shards = [
+        cluster.create_set(
+            f"stress-{i}", durability="write-back", page_size=PAGE
+        ).shards[0]
+        for i in range(THREADS)
+    ]
+    run_threads(
+        [stress_worker(node, shard, seed * 1000 + i) for i, shard in enumerate(shards)]
+    )
+    check_invariants(node)
+    # Every page the schedules left behind is unpinned and recoverable.
+    for shard in shards:
+        for page in shard.pages:
+            assert not page.pinned
+            assert page.in_memory or page.on_disk
+
+
+@pytest.mark.parametrize("seed", stress_seeds([3, 57, 1009]))
+def test_pressure_thrash_reconciles(seed):
+    """Threads repeatedly repin evicted pages while others force evictions."""
+    cluster = PangeaCluster(
+        num_nodes=1, profile=MachineProfile.tiny(pool_bytes=1 * MB)
+    )
+    node = cluster.nodes[0]
+    data = cluster.create_set("hot", durability="write-back", page_size=PAGE)
+    shard = data.shards[0]
+    pages = []
+    for i in range(8):
+        page = shard.new_page(pin=True)
+        page.append(i, 64)
+        shard.seal_page(page)
+        shard.unpin_page(page)
+        pages.append(page)
+
+    def repinner(worker_seed):
+        def run():
+            rng = random.Random(worker_seed)
+            for _ in range(OPS_PER_THREAD):
+                page = rng.choice(pages)
+                try:
+                    shard.pin_page(page)
+                except BufferPoolFullError:
+                    continue
+                check_invariants(node)
+                shard.unpin_page(page)
+
+        return run
+
+    run_threads([repinner(seed * 100 + i) for i in range(THREADS)])
+    check_invariants(node)
+    assert node.pool.stats.pageins > 0 or node.pool.stats.evictions == 0
+    for page in pages:
+        assert not page.pinned
+        assert page.in_memory or page.on_disk

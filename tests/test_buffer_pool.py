@@ -156,3 +156,117 @@ class TestBufferPool:
     def test_zero_capacity_rejected(self):
         with pytest.raises(ValueError):
             BufferPool(0)
+
+
+class TestEvictionRetryBounds:
+    """Regression tests for the place() livelock (ISSUE 1, satellite 1).
+
+    Before the bound, an evictor that reported success without freeing
+    any bytes sent ``place`` into an unbounded retry loop."""
+
+    def test_lying_evictor_raises_instead_of_livelocking(self):
+        pool = BufferPool(2 * MB)
+        pool.place(make_page(1, 2 * MB))
+        calls = []
+        pool.evictor = lambda needed: calls.append(needed) or True
+        with pytest.raises(BufferPoolFullError, match="freed no bytes"):
+            pool.place(make_page(2, 1 * MB))
+        # Exactly one no-progress round, not an infinite loop.
+        assert len(calls) == 1
+
+    def test_progress_bound_is_enforced(self):
+        pool = BufferPool(4 * MB, max_eviction_rounds=2)
+        tiny_pages = [make_page(i, 64 * 1024) for i in range(8)]
+        big = make_page(100, 3 * MB + 512 * 1024)
+        for page in tiny_pages:
+            pool.place(page)
+        pool.place(big)
+
+        victims = list(tiny_pages)
+
+        def slow_evictor(needed: int) -> bool:
+            # Frees real bytes every round, but never enough for the
+            # 2 MB request while `big` stays resident.
+            if victims:
+                pool.release(victims.pop())
+                return True
+            return False
+
+        pool.evictor = slow_evictor
+        with pytest.raises(BufferPoolFullError, match="eviction rounds"):
+            pool.place(make_page(200, 2 * MB))
+
+    def test_bounded_retries_still_succeed_with_honest_evictor(self):
+        pool = BufferPool(2 * MB, max_eviction_rounds=8)
+        resident = [make_page(i, 512 * 1024) for i in range(4)]
+        for page in resident:
+            pool.place(page)
+
+        def evictor(needed: int) -> bool:
+            if resident:
+                pool.release(resident.pop())
+                return True
+            return False
+
+        pool.evictor = evictor
+        replacement = make_page(10, 2 * MB)
+        pool.place(replacement)
+        assert replacement.in_memory
+
+    def test_nonpositive_round_bound_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(1 * MB, max_eviction_rounds=0)
+
+
+class TestSlabAdapter:
+    """Regression tests for _SlabPoolAdapter.free (ISSUE 1, satellite 2)."""
+
+    def test_free_unknown_offset_raises_value_error(self):
+        pool = BufferPool(8 * MB, allocator="slab", max_page_size=1 * MB)
+        page = make_page(1, 1 * MB)
+        pool.place(page)
+        with pytest.raises(ValueError, match="no allocated page at offset"):
+            pool._alloc.free(page.offset + 1)
+
+    def test_double_free_raises_value_error(self):
+        pool = BufferPool(8 * MB, allocator="slab", max_page_size=1 * MB)
+        page = make_page(1, 1 * MB)
+        pool.place(page)
+        offset = page.offset
+        pool.release(page)
+        with pytest.raises(ValueError, match="no allocated page at offset"):
+            pool._alloc.free(offset)
+
+    def test_allocated_size_unknown_offset_raises(self):
+        pool = BufferPool(8 * MB, allocator="slab", max_page_size=1 * MB)
+        with pytest.raises(ValueError, match="no allocated page at offset"):
+            pool._alloc.allocated_size(12345)
+
+
+class TestInvariantChecker:
+    def test_clean_pool_passes(self):
+        pool = BufferPool(8 * MB)
+        pages = [make_page(i, 1 * MB) for i in range(4)]
+        for page in pages:
+            pool.place(page)
+        pool.check_invariants()
+        pool.release(pages[0])
+        pool.check_invariants()
+
+    def test_overlap_is_detected(self):
+        pool = BufferPool(8 * MB)
+        first = make_page(1, 1 * MB)
+        second = make_page(2, 1 * MB)
+        pool.place(first)
+        pool.place(second)
+        second.offset = first.offset  # corrupt the placement
+        with pytest.raises(AssertionError):
+            pool.check_invariants()
+
+    def test_accounting_drift_is_detected(self):
+        pool = BufferPool(8 * MB)
+        page = make_page(1, 1 * MB)
+        pool.place(page)
+        pool._alloc.used_bytes += 64  # corrupt the allocator accounting
+        with pytest.raises(AssertionError, match="accounting drifted"):
+            pool.check_invariants()

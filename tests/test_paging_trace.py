@@ -97,3 +97,140 @@ class TestTrace:
         cluster = pressured_cluster()
         cluster.nodes[0].paging.disable_trace()
         assert cluster.nodes[0].paging.trace is None
+
+
+class TestEvictionEventFields:
+    def test_fields_are_fully_populated(self):
+        cluster = pressured_cluster()
+        data = cluster.create_set("s", durability="write-back", page_size=1 * MB)
+        shard = data.shards[0]
+        known_ids = set()
+        for _ in range(8):
+            page = shard.new_page()
+            page.append("x", 10)
+            shard.seal_page(page)
+            shard.unpin_page(page)
+            known_ids.add(page.page_id)
+        paging = cluster.nodes[0].paging
+        assert len(paging.trace) > 0
+        for event in paging.trace:
+            assert event.tick > 0
+            assert event.tick <= paging.current_tick
+            assert event.set_name == "s"
+            assert event.page_id in known_ids
+            assert isinstance(event.was_dirty, bool)
+            assert isinstance(event.flushed, bool)
+            assert event.policy == "data-aware"
+
+    def test_events_are_immutable(self):
+        cluster = pressured_cluster()
+        data = cluster.create_set("s", durability="write-back", page_size=1 * MB)
+        shard = data.shards[0]
+        for _ in range(8):
+            page = shard.new_page()
+            page.append("x", 10)
+            shard.unpin_page(page)
+        event = cluster.nodes[0].paging.trace[0]
+        with pytest.raises(AttributeError):
+            event.page_id = 999
+
+    def test_flushed_implies_was_dirty(self):
+        cluster = pressured_cluster()
+        data = cluster.create_set("s", durability="write-back", page_size=1 * MB)
+        shard = data.shards[0]
+        for _ in range(8):
+            page = shard.new_page()
+            page.append("x", 10)
+            shard.unpin_page(page)
+        for event in cluster.nodes[0].paging.trace:
+            if event.flushed:
+                assert event.was_dirty
+
+
+class TestTraceRingBounds:
+    def evict_n_times(self, cluster, n):
+        data = cluster.create_set("s", durability="write-back", page_size=1 * MB)
+        shard = data.shards[0]
+        for _ in range(n):
+            page = shard.new_page()
+            page.append("x", 10)
+            shard.unpin_page(page)
+
+    def test_enable_trace_default_capacity(self):
+        cluster = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=4 * MB)
+        )
+        cluster.nodes[0].paging.enable_trace()
+        assert cluster.nodes[0].paging.trace.maxlen == 1024
+
+    def test_ring_keeps_only_newest_events(self):
+        cluster = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=2 * MB)
+        )
+        cluster.nodes[0].paging.enable_trace(capacity=3)
+        self.evict_n_times(cluster, 16)
+        trace = cluster.nodes[0].paging.trace
+        assert len(trace) == 3
+        ticks = [event.tick for event in trace]
+        assert ticks == sorted(ticks)
+        assert ticks[-1] <= cluster.nodes[0].paging.current_tick
+
+    def test_reenable_resets_the_ring(self):
+        cluster = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=2 * MB)
+        )
+        cluster.nodes[0].paging.enable_trace(capacity=64)
+        self.evict_n_times(cluster, 8)
+        assert len(cluster.nodes[0].paging.trace) > 0
+        cluster.nodes[0].paging.enable_trace(capacity=2)
+        assert len(cluster.nodes[0].paging.trace) == 0
+        assert cluster.nodes[0].paging.trace.maxlen == 2
+
+    def test_nonpositive_capacity_rejected(self):
+        cluster = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=4 * MB)
+        )
+        with pytest.raises(ValueError):
+            cluster.nodes[0].paging.enable_trace(capacity=0)
+
+    def test_trace_capacity_constructor_arg(self):
+        from repro.core.paging import PagingSystem
+
+        assert PagingSystem(trace_capacity=7).trace.maxlen == 7
+        assert PagingSystem(trace_capacity=0).trace is None
+
+
+class TestPagingStatsReset:
+    def test_reset_zeroes_all_counters(self):
+        cluster = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=2 * MB)
+        )
+        data = cluster.create_set("s", durability="write-back", page_size=1 * MB)
+        shard = data.shards[0]
+        for _ in range(6):
+            page = shard.new_page()
+            page.append("x", 10)
+            shard.unpin_page(page)
+        stats = cluster.nodes[0].paging.stats
+        assert stats.eviction_rounds > 0
+        assert stats.pages_evicted > 0
+        stats.reset()
+        assert stats.eviction_rounds == 0
+        assert stats.pages_evicted == 0
+
+    def test_counters_resume_after_reset(self):
+        cluster = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=2 * MB)
+        )
+        data = cluster.create_set("s", durability="write-back", page_size=1 * MB)
+        shard = data.shards[0]
+        for _ in range(4):
+            page = shard.new_page()
+            page.append("x", 10)
+            shard.unpin_page(page)
+        cluster.nodes[0].paging.stats.reset()
+        for _ in range(4):
+            page = shard.new_page()
+            page.append("x", 10)
+            shard.unpin_page(page)
+        assert cluster.nodes[0].paging.stats.pages_evicted > 0
