@@ -61,7 +61,7 @@ def main() -> None:
                 continue
             for page in shard.pages:
                 records = page.records or (
-                    shard.file._payloads.get(page.page_id, [])
+                    shard.file.peek_records(page.page_id)
                     if page.on_disk else []
                 )
                 ids.update(r["id"] for r in records)

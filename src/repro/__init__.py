@@ -31,7 +31,15 @@ from repro.core import (
     WritingPattern,
     make_policy,
 )
-from repro.sim import MachineProfile, SimClock
+from repro.sim import (
+    FaultConfig,
+    FaultInjector,
+    MachineProfile,
+    PageCorruptionError,
+    RetryPolicy,
+    RobustnessStats,
+    SimClock,
+)
 from repro.sim.devices import GB, KB, MB
 
 __version__ = "1.0.0"
@@ -58,6 +66,11 @@ __all__ = [
     "SlabAllocator",
     "MachineProfile",
     "SimClock",
+    "FaultConfig",
+    "FaultInjector",
+    "PageCorruptionError",
+    "RetryPolicy",
+    "RobustnessStats",
     "KB",
     "MB",
     "GB",

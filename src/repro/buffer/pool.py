@@ -26,6 +26,9 @@ class PoolStats:
     bytes_paged_out: int = 0
     pageins: int = 0
     bytes_paged_in: int = 0
+    #: Page-ins whose on-disk image failed checksum verification and was
+    #: rebuilt from a surviving replica before the pin completed.
+    read_repairs: int = 0
 
     def reset(self) -> None:
         self.placements = 0
@@ -35,6 +38,7 @@ class PoolStats:
         self.bytes_paged_out = 0
         self.pageins = 0
         self.bytes_paged_in = 0
+        self.read_repairs = 0
 
 
 class _SlabPoolAdapter:

@@ -5,11 +5,12 @@ from __future__ import annotations
 import typing
 
 from repro.cluster.auth import KeyPair, verify_bootstrap
-from repro.cluster.manager import Manager
+from repro.cluster.manager import HeartbeatFailureDetector, Manager
 from repro.cluster.node import WorkerNode
 from repro.core.attributes import DurabilityType, LocalitySetAttributes
 from repro.core.locality_set import LocalitySet
 from repro.sim.devices import MB
+from repro.sim.faults import RobustnessStats
 from repro.sim.profiles import MachineProfile
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -44,6 +45,9 @@ class PangeaCluster:
             WorkerNode(i, self.profile, policy=policy, pool_allocator=pool_allocator)
             for i in range(num_nodes)
         ]
+        #: Cluster-level self-healing counters (failovers, recoveries);
+        #: per-node counters live on each WorkerNode.robustness.
+        self.robustness = RobustnessStats()
 
     # ------------------------------------------------------------------
     # set management
@@ -107,8 +111,34 @@ class PangeaCluster:
     # time and synchronization
     # ------------------------------------------------------------------
 
+    def enable_self_healing(
+        self,
+        interval: float = 0.5,
+        miss_threshold: int = 3,
+        auto_recover: bool = True,
+    ) -> HeartbeatFailureDetector:
+        """Install a heartbeat failure detector polled at every barrier.
+
+        With ``auto_recover`` (the default) a detected crash immediately
+        re-dispatches the dead node's shards over the survivors for every
+        recoverable replication group, so later scans heal transparently.
+        """
+        detector = HeartbeatFailureDetector(
+            self,
+            interval=interval,
+            miss_threshold=miss_threshold,
+            auto_recover=auto_recover,
+        )
+        return self.manager.attach_failure_detector(detector)
+
     def barrier(self) -> float:
-        """Synchronize all node clocks to the max (stage boundary)."""
+        """Synchronize all node clocks to the max (stage boundary).
+
+        Stage boundaries are where the manager hears about missed
+        heartbeats, so an attached failure detector is polled here.
+        """
+        if self.manager.failure_detector is not None:
+            self.manager.failure_detector.poll()
         latest = max(node.clock.now for node in self.nodes)
         for node in self.nodes:
             node.clock.advance_to(latest)
@@ -121,6 +151,7 @@ class PangeaCluster:
         for node in self.nodes:
             node.clock.reset()
             node.reset_stats()
+        self.robustness.reset()
 
     # ------------------------------------------------------------------
     # policies and introspection

@@ -13,8 +13,87 @@ import typing
 from dataclasses import dataclass, field
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.cluster.cluster import PangeaCluster
     from repro.core.locality_set import LocalitySet
     from repro.placement.replication import ReplicationGroup
+
+
+class HeartbeatFailureDetector:
+    """Simulated heartbeat-based failure detection (self-healing, Sec. 7).
+
+    Workers are modeled as heartbeating the manager every ``interval``
+    simulated seconds; a node is declared dead after ``miss_threshold``
+    missed beats, so detection charges ``interval * miss_threshold``
+    seconds of cluster time.  With ``auto_recover`` on, declaring a node
+    dead immediately re-dispatches its lost shards over the survivors via
+    :func:`~repro.placement.recovery.recover_node` for every replication
+    group that can recover (>= 2 members and a registered ``object_id_fn``).
+
+    ``poll`` is re-entrancy-guarded: recovery itself synchronizes via
+    ``cluster.barrier()``, which polls the detector again.
+    """
+
+    def __init__(
+        self,
+        cluster: "PangeaCluster",
+        interval: float = 0.5,
+        miss_threshold: int = 3,
+        auto_recover: bool = True,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be at least 1")
+        self.cluster = cluster
+        self.interval = interval
+        self.miss_threshold = miss_threshold
+        self.auto_recover = auto_recover
+        #: node ids already declared dead (and, if possible, recovered)
+        self.handled: set[int] = set()
+        self._polling = False
+
+    @property
+    def detection_delay(self) -> float:
+        return self.interval * self.miss_threshold
+
+    def poll(self) -> list[int]:
+        """Check every node's liveness; returns newly detected failures."""
+        if self._polling:
+            return []
+        self._polling = True
+        try:
+            detected: list[int] = []
+            for node in self.cluster.nodes:
+                if node.failed and node.node_id not in self.handled:
+                    self.handled.add(node.node_id)
+                    detected.append(node.node_id)
+                elif not node.failed and node.node_id in self.handled:
+                    # The process restarted (e.g. recover_process in a test);
+                    # forget it so a second crash is detected again.
+                    self.handled.discard(node.node_id)
+            if detected:
+                # Heartbeats take miss_threshold intervals to time out.
+                latest = self.cluster.barrier() + self.detection_delay
+                for node in self.cluster.nodes:
+                    node.clock.advance_to(latest)
+                if self.auto_recover:
+                    for node_id in detected:
+                        self._recover(node_id)
+            return detected
+        finally:
+            self._polling = False
+
+    def _recover(self, node_id: int) -> None:
+        from repro.placement.recovery import recover_node
+
+        for group in self.cluster.manager.replica_groups():
+            if len(group.members) < 2 or group.object_id_fn is None:
+                continue
+            if node_id in group.recovered_nodes:
+                continue
+            if not any(node_id in member.shards for member in group.members):
+                continue
+            recover_node(self.cluster, group, node_id)
 
 
 @dataclass
@@ -38,6 +117,14 @@ class Manager:
         self._groups: dict[int, "ReplicationGroup"] = {}
         self._group_counter = 0
         self._stats: dict[str, SetStatistics] = {}
+        #: Installed by PangeaCluster.enable_self_healing; None otherwise.
+        self.failure_detector: "HeartbeatFailureDetector | None" = None
+
+    def attach_failure_detector(
+        self, detector: "HeartbeatFailureDetector"
+    ) -> "HeartbeatFailureDetector":
+        self.failure_detector = detector
+        return detector
 
     # ------------------------------------------------------------------
     # catalog
@@ -89,6 +176,9 @@ class Manager:
             return self._groups[group_id]
         except KeyError:
             raise KeyError(f"no replication group {group_id}") from None
+
+    def replica_groups(self) -> "list[ReplicationGroup]":
+        return [self._groups[gid] for gid in sorted(self._groups)]
 
     def replicas_of(self, name: str) -> "list[LocalitySet]":
         """All members of the set's replication group (including itself)."""

@@ -9,6 +9,7 @@ from repro.core.paging import PagingSystem
 from repro.fs.node_fs import PangeaNodeFS
 from repro.sim.clock import SimClock
 from repro.sim.devices import DiskArray
+from repro.sim.faults import RetryPolicy, RobustnessStats
 from repro.sim.profiles import MachineProfile
 
 
@@ -41,10 +42,16 @@ class WorkerNode:
         self.pool = BufferPool(profile.pool_bytes, allocator=pool_allocator)
         self.paging = PagingSystem(policy)
         self.pool.evictor = self.paging.make_room
-        self.fs = PangeaNodeFS(self.disks)
+        self.fs = PangeaNodeFS(self.disks, owner=self)
         self._page_counter = 0
         self._page_counter_lock = threading.Lock()
         self.failed = False
+        #: Self-healing counters (retries, read-repairs, ...) for this node.
+        self.robustness = RobustnessStats()
+        #: Bounded backoff for transient disk/network faults.
+        self.retry_policy = RetryPolicy()
+        #: Set by FaultInjector.attach; None on a healthy cluster.
+        self.fault_injector = None
 
     def next_page_id(self) -> int:
         """Node-local page ids; globally unique as (node_id, page_id)."""
@@ -68,6 +75,7 @@ class WorkerNode:
         self.paging.stats.reset()
         self.disks.reset_stats()
         self.network.stats.reset()
+        self.robustness.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

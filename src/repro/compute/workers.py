@@ -24,6 +24,7 @@ import typing
 from dataclasses import dataclass, field
 
 from repro.compute.proxy import DataProxy
+from repro.services.sequential import resolve_readable_source
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.cluster.cluster import PangeaCluster
@@ -74,13 +75,19 @@ class WorkerPool:
         In threaded mode the workers really are concurrent OS threads;
         outputs are re-ordered to the shard's page order afterwards so
         both modes return identical results.
+
+        Dead shards fail over the same way a scan does (see
+        :func:`~repro.services.sequential.resolve_readable_source`): the
+        stage reads the healed survivors or a fully-live replica member
+        instead of the crashed node's orphaned pages.
         """
         if self.threaded:
             return self._run_stage_threaded(dataset, page_fn, seconds_per_object)
         start = self.cluster.barrier()
         result = StageResult()
-        for node_id in sorted(dataset.shards):
-            shard = dataset.shards[node_id]
+        source, node_ids = resolve_readable_source(dataset)
+        for node_id in node_ids:
+            shard = source.shards[node_id]
             node = shard.node
             proxy = DataProxy(shard, buffer_capacity=self.buffer_capacity)
             outputs: list = []
@@ -154,8 +161,9 @@ class WorkerPool:
                     errors.append(exc)
 
         per_node_outputs: dict[int, list] = {}
-        for node_id in sorted(dataset.shards):
-            shard = dataset.shards[node_id]
+        source, node_ids = resolve_readable_source(dataset)
+        for node_id in node_ids:
+            shard = source.shards[node_id]
             node = shard.node
             proxy = DataProxy(shard, buffer_capacity=self.buffer_capacity)
             proxies.append(proxy)
@@ -213,8 +221,9 @@ class WavesOfTasks:
         start = self.cluster.barrier()
         result = StageResult()
         driver = self.cluster.nodes[0]
-        for node_id in sorted(dataset.shards):
-            shard = dataset.shards[node_id]
+        source, node_ids = resolve_readable_source(dataset)
+        for node_id in node_ids:
+            shard = source.shards[node_id]
             node = shard.node
             outputs: list = []
             for page in list(shard.pages):

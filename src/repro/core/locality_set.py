@@ -21,6 +21,7 @@ from repro.core.attributes import (
     ReadingPattern,
     WritingPattern,
 )
+from repro.sim.faults import PageCorruptionError
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.cluster.node import WorkerNode
@@ -96,6 +97,7 @@ class LocalShard:
                 self.file.write_page(page.page_id, page.records, page.size)
                 page.on_disk = True
                 page.dirty = False
+                self.paging.note_page_image(page)
 
     def touch(self, page: Page) -> None:
         """Record a page access for the recency model."""
@@ -112,7 +114,10 @@ class LocalShard:
                         f"page {page.page_id} of set {self.dataset.name!r} is "
                         f"neither in memory nor on disk"
                     )
-                records, _cost = self.file.read_page(page.page_id)
+                try:
+                    records, _cost = self.file.read_page(page.page_id)
+                except PageCorruptionError:
+                    records = self._read_repair(page)
                 self.pool.place(page)
                 page.records = records
                 page.dirty = False
@@ -132,6 +137,80 @@ class LocalShard:
 
     def unpin_page(self, page: Page) -> None:
         self.pool.unpin(page)
+
+    def _read_repair(self, page: Page) -> list:
+        """Rebuild a corrupted page image from surviving replica copies.
+
+        The page's object ids (recorded when its image was persisted) are
+        looked up in every other member of the replication group, then in
+        the group's safety sets.  A full reconstruction rewrites the local
+        image with a fresh checksum; a partial one re-raises
+        :class:`PageCorruptionError` — at that point data is genuinely lost.
+        """
+        dataset = self.dataset
+        manager = getattr(dataset.cluster, "manager", None)
+        group = None
+        if manager is not None and dataset.replica_group_id is not None:
+            group = manager.replica_group(dataset.replica_group_id)
+        ids = dataset.page_image_ids(self.node.node_id, page.page_id)
+        if group is None or group.object_id_fn is None or ids is None:
+            raise PageCorruptionError(
+                f"page {page.page_id} of set {dataset.name!r} on node "
+                f"{self.node.node_id} is corrupt and has no replica group "
+                f"(or no page index) to repair from"
+            )
+        object_id_fn = group.object_id_fn
+        wanted = set(ids)
+        found: dict = {}
+        sources = [member for member in group.members if member is not dataset]
+        if group.colliding_set is not None:
+            sources.append(group.colliding_set)
+        sources.extend(group.extra_safety_sets)
+        for source in sources:
+            if not wanted:
+                break
+            for node_id in sorted(source.shards):
+                if not wanted:
+                    break
+                shard = source.shards[node_id]
+                if shard.node.failed:
+                    continue
+                for source_page in shard.pages:
+                    if not wanted:
+                        break
+                    candidates = source_page.records
+                    if not candidates and source_page.on_disk:
+                        try:
+                            candidates, _cost = shard.file.read_page(
+                                source_page.page_id
+                            )
+                        except PageCorruptionError:
+                            continue  # this copy is damaged too; keep looking
+                    if not candidates:
+                        continue
+                    shard.node.cpu.per_object(len(candidates))
+                    matched = 0
+                    for record in candidates:
+                        object_id = object_id_fn(record)
+                        if object_id in wanted:
+                            found[object_id] = record
+                            wanted.discard(object_id)
+                            matched += 1
+                    if matched and shard.node is not self.node:
+                        shard.node.network.transfer(
+                            matched * dataset.object_bytes
+                        )
+        if wanted:
+            raise PageCorruptionError(
+                f"read-repair of page {page.page_id} of set {dataset.name!r} "
+                f"on node {self.node.node_id} failed: {len(wanted)} object(s) "
+                f"unrecoverable from {len(sources)} surviving source(s)"
+            )
+        repaired = [found[object_id] for object_id in ids]
+        self.file.write_page(page.page_id, repaired, page.size)
+        self.node.robustness.read_repairs += 1
+        self.pool.stats.read_repairs += 1
+        return repaired
 
     def evict_page(self, page: Page) -> int:
         """Evict one unpinned page; returns the bytes freed.
@@ -156,6 +235,7 @@ class LocalShard:
                 page.dirty = False
                 self.pool.stats.pageouts += 1
                 self.pool.stats.bytes_paged_out += page.size
+                self.paging.note_page_image(page)
             freed = page.size
             self.pool.release(page)
             page.records = []
@@ -234,6 +314,10 @@ class LocalitySet:
         self.partition_scheme: "object | None" = None
         self.partitioner: "object | None" = None
         self.replica_group_id: int | None = None
+        #: (node_id, page_id) -> object ids backing that page's disk image;
+        #: maintained once the set joins a replication group, consumed by
+        #: the buffer layer's read-repair path.
+        self._page_ids: dict[tuple[int, int], list] = {}
         self._dispatch_cursor = 0
         #: Guards the dispatch cursor and the reader/writer attachment
         #: counters against concurrent service attach/detach.
@@ -302,6 +386,31 @@ class LocalitySet:
         for iterator in self.get_page_iterators(workers):
             for page in iterator:
                 yield from page.records
+
+    # ------------------------------------------------------------------
+    # page-image index (read-repair support)
+    # ------------------------------------------------------------------
+
+    def note_page_image(self, shard: LocalShard, page: Page) -> None:
+        """Index the object ids of a freshly persisted page image."""
+        if self.replica_group_id is None:
+            return
+        manager = getattr(self.cluster, "manager", None)
+        if manager is None:
+            return
+        group = manager.replica_group(self.replica_group_id)
+        if group.object_id_fn is None:
+            return
+        self._page_ids[(shard.node.node_id, page.page_id)] = [
+            group.object_id_fn(record) for record in page.records
+        ]
+
+    def remember_page_ids(self, node_id: int, page_id: int, ids: list) -> None:
+        """Bulk-index a page's object ids (used at replica registration)."""
+        self._page_ids[(node_id, page_id)] = list(ids)
+
+    def page_image_ids(self, node_id: int, page_id: int) -> "list | None":
+        return self._page_ids.get((node_id, page_id))
 
     def end_lifetime(self) -> None:
         self.attributes.end_lifetime()

@@ -116,6 +116,19 @@ class PagingSystem:
     def current_tick(self) -> int:
         return self._ticks.now
 
+    def note_page_image(self, page) -> None:
+        """Record the object ids backing a page's on-disk image.
+
+        Called by the shard whenever a page image is persisted (seal of a
+        write-through page, flush of a dirty write-back page).  The index
+        lives on the owning locality set and is what the buffer layer uses
+        to read-repair a corrupted image from a surviving replica — without
+        it, a corruption is only diagnosable, not healable.
+        """
+        shard = page.shard
+        if shard is not None:
+            shard.dataset.note_page_image(shard, page)
+
     # ------------------------------------------------------------------
     # eviction
     # ------------------------------------------------------------------

@@ -15,14 +15,17 @@ class PangeaNodeFS:
     baseline pays (paper Secs. 4 and 9.2.1).
     """
 
-    def __init__(self, disks: DiskArray) -> None:
+    def __init__(self, disks: DiskArray, owner: "object | None" = None) -> None:
         self.disks = disks
+        #: The worker node this FS lives on; threaded through to each
+        #: SetFile for retry-policy, robustness-counter, and fault access.
+        self.owner = owner
         self._files: dict[str, SetFile] = {}
 
     def create_file(self, set_name: str) -> SetFile:
         if set_name in self._files:
             raise ValueError(f"a file for set {set_name!r} already exists")
-        handle = SetFile(set_name, self.disks)
+        handle = SetFile(set_name, self.disks, owner=self.owner)
         self._files[set_name] = handle
         return handle
 

@@ -14,6 +14,7 @@ import typing
 from dataclasses import dataclass, field
 
 from repro.services.sequential import SequentialWriter, make_shard_iterators
+from repro.sim.faults import fire_point
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.cluster.cluster import PangeaCluster
@@ -69,9 +70,15 @@ def recover_node(
     Returns a report whose ``seconds`` is the simulated recovery latency
     (the Fig. 6 measurement).  The failed node's shards are treated as
     unreadable; recovered records are re-dispatched over the survivors.
+
+    Idempotent: a node already in ``group.recovered_nodes`` was healed by
+    an earlier run, so calling again is a no-op (re-dispatching the same
+    records twice would duplicate them on the survivors).
     """
     if group.object_id_fn is None:
         raise ValueError("the replication group has no object_id_fn registered")
+    if failed_node in group.recovered_nodes:
+        return RecoveryReport(failed_node=failed_node)
     node = cluster.nodes[failed_node]
     if not node.failed:
         node.fail()
@@ -95,6 +102,10 @@ def recover_node(
     report.colliding_recovered = _recover_colliding(
         cluster, group, failed_node, report, workers=workers
     )
+    group.recovered_nodes.add(failed_node)
+    robustness = getattr(cluster, "robustness", None)
+    if robustness is not None:
+        robustness.recoveries += 1
     end = cluster.barrier()
     report.seconds = end - start
     return report
@@ -120,7 +131,7 @@ def _ids_lost_from(target: "LocalitySet", failed_node: int, object_id_fn) -> set
     for page in shard.pages:
         records = page.records
         if not records and page.on_disk:
-            records = shard.file._payloads.get(page.page_id, [])
+            records = shard.file.peek_records(page.page_id)
         for record in records:
             lost.add(object_id_fn(record))
     return lost
@@ -151,6 +162,7 @@ def _recover_replica(
             if node_id == failed_node:
                 continue
             shard = source.shards[node_id]
+            fire_point(shard.node, "mid-recovery")
             moved_bytes = 0
             for iterator in make_shard_iterators(shard, workers):
                 for page in iterator:

@@ -51,6 +51,9 @@ class ReplicationGroup:
     colliding_home: dict = field(default_factory=dict)
     #: extra safety sets created by ensure_r_safety (r > 1 tolerance)
     extra_safety_sets: list = field(default_factory=list)
+    #: node ids whose lost shards were already re-dispatched by recover_node;
+    #: makes recovery idempotent and tells readers a failed node is healed
+    recovered_nodes: set = field(default_factory=set)
     group_id: int | None = None
 
     def member_named(self, name: str) -> "LocalitySet":
@@ -99,10 +102,32 @@ def register_replica(
     if replica not in group.members:
         group.members.append(replica)
         replica.replica_group_id = group.group_id
+    _index_page_images(group)
     _refresh_colliding_set(cluster, group)
     cluster.manager.update_statistics(source)
     cluster.manager.update_statistics(replica)
     return group
+
+
+def _index_page_images(group: ReplicationGroup) -> None:
+    """Backfill the members' page-image indexes (read-repair support).
+
+    Pages persisted before the set joined the group were never indexed by
+    ``note_page_image``; this scan fixes that using the metadata-side
+    payload view (no data I/O is charged).
+    """
+    object_id_fn = group.object_id_fn
+    if object_id_fn is None:
+        return
+    for member in group.members:
+        for node_id, shard in member.shards.items():
+            for page in shard.pages:
+                if not page.on_disk:
+                    continue
+                records = page.records or shard.file.peek_records(page.page_id)
+                member.remember_page_ids(
+                    node_id, page.page_id, [object_id_fn(r) for r in records]
+                )
 
 
 def _refresh_colliding_set(cluster: "PangeaCluster", group: ReplicationGroup) -> None:

@@ -37,7 +37,7 @@ def object_node_spread(group: ReplicationGroup) -> dict:
             for page in shard.pages:
                 records = page.records
                 if not records and page.on_disk:
-                    records = shard.file._payloads.get(page.page_id, [])
+                    records = shard.file.peek_records(page.page_id)
                 for record in records:
                     spread.setdefault(group.object_id_fn(record), set()).add(node_id)
     return spread
@@ -66,7 +66,7 @@ def ensure_r_safety(
         for page in shard.pages:
             records = page.records
             if not records and page.on_disk:
-                records = shard.file._payloads.get(page.page_id, [])
+                records = shard.file.peek_records(page.page_id)
             for record in records:
                 sample_of.setdefault(group.object_id_fn(record), record)
 
@@ -168,7 +168,7 @@ def recover_concurrent_failures(
             for page in shard.pages:
                 records = page.records
                 if not records and page.on_disk:
-                    records = shard.file._payloads.get(page.page_id, [])
+                    records = shard.file.peek_records(page.page_id)
                 for record in records:
                     lost_ids.add(object_id_fn(record))
         alive = [nid for nid in sorted(member.shards) if nid not in failed]

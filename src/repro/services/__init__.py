@@ -11,7 +11,14 @@ from repro.services.broadcast import BroadcastMap, broadcast_map
 from repro.services.dispatcher import Dispatcher, ImportReport
 from repro.services.hashsvc import VirtualHashBuffer
 from repro.services.joinmap import JoinMap, build_join_map
-from repro.services.sequential import PageIterator, SequentialWriter, make_page_iterators
+from repro.services.sequential import (
+    NodeFailedError,
+    PageIterator,
+    SequentialWriter,
+    make_page_iterators,
+    make_shard_iterators,
+    resolve_readable_source,
+)
 from repro.services.shuffle import ShuffleService, SmallPageAllocator, VirtualShuffleBuffer
 
 __all__ = [
@@ -19,7 +26,10 @@ __all__ = [
     "ImportReport",
     "SequentialWriter",
     "PageIterator",
+    "NodeFailedError",
     "make_page_iterators",
+    "make_shard_iterators",
+    "resolve_readable_source",
     "ShuffleService",
     "SmallPageAllocator",
     "VirtualShuffleBuffer",

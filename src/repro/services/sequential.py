@@ -18,6 +18,7 @@ import typing
 
 from repro.buffer.page import Page
 from repro.core.attributes import ReadingPattern, WritingPattern
+from repro.sim.faults import fire_point
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.locality_set import LocalitySet, LocalShard
@@ -25,14 +26,31 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 class NodeFailedError(RuntimeError):
     """The shard's worker node has failed; its data is unreachable until
-    recovery re-creates it on the survivors."""
+    recovery re-creates it on the survivors.
+
+    Carries the failed ``node_id`` and the ``set_name`` whose shard was
+    unreachable, so operators (and tests) can tell *which* failure broke
+    the operation without parsing the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        node_id: "int | None" = None,
+        set_name: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.node_id = node_id
+        self.set_name = set_name
 
 
 def _check_alive(shard: "LocalShard") -> None:
     if shard.node.failed:
         raise NodeFailedError(
             f"node {shard.node.node_id} holding a shard of "
-            f"{shard.dataset.name!r} has failed"
+            f"{shard.dataset.name!r} has failed",
+            node_id=shard.node.node_id,
+            set_name=shard.dataset.name,
         )
 
 
@@ -93,6 +111,7 @@ class SequentialWriter:
 
     def _current_page(self, nbytes: int) -> Page:
         if self._page is not None and self._page.free_bytes < nbytes:
+            fire_point(self.shard.node, "mid-write")
             self.shard.seal_page(self._page)
             self.shard.unpin_page(self._page)
             self._page = None
@@ -133,6 +152,7 @@ class SequentialWriter:
     def flush(self) -> None:
         """Seal the current page early (stage boundary)."""
         if self._page is not None:
+            fire_point(self.shard.node, "mid-write")
             self.shard.seal_page(self._page)
             self.shard.unpin_page(self._page)
             self._page = None
@@ -203,6 +223,7 @@ class PageIterator:
         shard = page.shard
         # Page metadata flows through the circular buffer (one socket
         # message per pinned page, paper Fig. 2).
+        fire_point(shard.node, "mid-scan")
         shard.node.network.message(1)
         shard.pin_page(page)
         shard.node.cpu.per_object(page.num_objects, workers=self._workers)
@@ -225,10 +246,24 @@ class PageIterator:
             self._cursor.iterator_done()
 
 
-def make_shard_iterators(shard: "LocalShard", num_threads: int = 1) -> list[PageIterator]:
-    """Concurrent page iterators over a single node's shard."""
+def make_shard_iterators(
+    shard: "LocalShard",
+    num_threads: int = 1,
+    on_failure: str = "raise",
+) -> list[PageIterator]:
+    """Concurrent page iterators over a single node's shard.
+
+    ``on_failure`` controls what a dead node means: ``"raise"`` (the
+    default, and what recovery correctness depends on) raises
+    :class:`NodeFailedError`; ``"skip"`` returns no iterators so callers
+    sweeping many shards can pass over dead ones.
+    """
     if num_threads < 1:
         raise ValueError("need at least one iterator")
+    if on_failure not in ("raise", "skip"):
+        raise ValueError(f"on_failure must be 'raise' or 'skip', not {on_failure!r}")
+    if shard.node.failed and on_failure == "skip":
+        return []
     _check_alive(shard)
     dataset = shard.dataset
     with dataset._service_lock:
@@ -239,24 +274,83 @@ def make_shard_iterators(shard: "LocalShard", num_threads: int = 1) -> list[Page
     return [PageIterator(cursor, num_threads) for _ in range(num_threads)]
 
 
+def resolve_readable_source(
+    dataset: "LocalitySet",
+) -> "tuple[LocalitySet, list[int]]":
+    """Pick a readable (set, node-id list) for a whole-set scan.
+
+    Healthy set: itself, all shards.  With dead shards, the read service
+    fails over instead of surfacing the crash (paper Sec. 7): it first
+    polls the failure detector (which may auto-recover the node), then
+
+    - if every dead node was already healed (its records re-dispatched to
+      the survivors), scans the live shards of the same set;
+    - otherwise switches to a replication-group member whose shards are
+      all alive;
+    - and only when no member is fully readable raises
+      :class:`NodeFailedError` carrying the node id and set name.
+    """
+    cluster = dataset.cluster
+    manager = getattr(cluster, "manager", None)
+    detector = getattr(manager, "failure_detector", None)
+    if detector is not None:
+        detector.poll()
+
+    def dead_nodes(member: "LocalitySet") -> list[int]:
+        return [
+            nid for nid in sorted(member.shards) if member.shards[nid].node.failed
+        ]
+
+    dead = dead_nodes(dataset)
+    if not dead:
+        return dataset, sorted(dataset.shards)
+    group = None
+    if manager is not None and dataset.replica_group_id is not None:
+        group = manager.replica_group(dataset.replica_group_id)
+    robustness = getattr(cluster, "robustness", None)
+    if group is not None and all(nid in group.recovered_nodes for nid in dead):
+        # Healed: the survivors hold the dead shards' records already.
+        if robustness is not None:
+            robustness.failovers += 1
+        live = [nid for nid in sorted(dataset.shards) if nid not in dead]
+        return dataset, live
+    if group is not None:
+        for member in group.members:
+            if member is dataset:
+                continue
+            if not dead_nodes(member):
+                if robustness is not None:
+                    robustness.failovers += 1
+                return member, sorted(member.shards)
+    raise NodeFailedError(
+        f"node {dead[0]} holding a shard of {dataset.name!r} has failed "
+        f"and no live replica covers its data",
+        node_id=dead[0],
+        set_name=dataset.name,
+    )
+
+
 def make_page_iterators(dataset: "LocalitySet", num_threads: int = 1) -> list[PageIterator]:
     """Concurrent page iterators over every shard of ``dataset``.
 
     The read service marks the set ``sequential-read`` and (while attached)
     ``read``; the GetSetPages handshake costs one control message per shard.
+    Dead shards fail over to a surviving replica (see
+    :func:`resolve_readable_source`) instead of raising.
     """
     if num_threads < 1:
         raise ValueError("need at least one iterator")
-    with dataset._service_lock:
-        dataset.active_readers += 1
-        dataset.attributes.note_read_service(ReadingPattern.SEQUENTIAL_READ)
+    source, node_ids = resolve_readable_source(dataset)
+    with source._service_lock:
+        source.active_readers += 1
+        source.attributes.note_read_service(ReadingPattern.SEQUENTIAL_READ)
     pages: list[Page] = []
-    for node_id in sorted(dataset.shards):
-        shard = dataset.shards[node_id]
+    for node_id in node_ids:
+        shard = source.shards[node_id]
         _check_alive(shard)
         shard.node.network.message(1)
         pages.extend(shard.pages)
-    cursor = _SharedCursor(pages, dataset)
+    cursor = _SharedCursor(pages, source)
     iterators = [PageIterator(cursor, num_threads) for _ in range(num_threads)]
     if not pages:
         # No pages: retire the read attachment immediately via one iterator

@@ -16,6 +16,7 @@ import typing
 from repro.buffer.page import Page
 from repro.core.attributes import WritingPattern
 from repro.sim.devices import MB
+from repro.sim.faults import fire_point
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.cluster.cluster import PangeaCluster
@@ -124,6 +125,7 @@ class VirtualShuffleBuffer:
         if self._small is None:
             return
         home_node = self.allocator.shard.node
+        fire_point(home_node, "mid-shuffle")
         if self.worker_node is not None and self.worker_node is not home_node:
             self.worker_node.network.transfer(self._small.used, num_messages=1)
         self._small.finish(self.allocator.shard)

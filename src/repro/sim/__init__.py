@@ -12,6 +12,15 @@ rough factor, and where the crossover points fall.
 
 from repro.sim.clock import SimClock
 from repro.sim.devices import CpuProfile, DiskArray, DiskDevice
+from repro.sim.faults import (
+    FaultConfig,
+    FaultInjector,
+    PageCorruptionError,
+    RetryPolicy,
+    RobustnessStats,
+    TransientDiskError,
+    TransientNetworkError,
+)
 from repro.sim.network import NetworkLink
 from repro.sim.profiles import MachineProfile
 
@@ -22,4 +31,11 @@ __all__ = [
     "DiskArray",
     "NetworkLink",
     "MachineProfile",
+    "FaultConfig",
+    "FaultInjector",
+    "PageCorruptionError",
+    "RetryPolicy",
+    "RobustnessStats",
+    "TransientDiskError",
+    "TransientNetworkError",
 ]

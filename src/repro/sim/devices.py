@@ -101,6 +101,11 @@ class DiskArray:
         if not disks:
             raise ValueError("a disk array needs at least one disk")
         self.disks = list(disks)
+        #: Optional fault hook ``(point, nbytes) -> extra_seconds``; installed
+        #: by :meth:`repro.sim.faults.FaultInjector.attach`.  May raise
+        #: :class:`~repro.sim.faults.TransientDiskError` (retried by the
+        #: file layer) before any bytes are charged.
+        self.fault_hook = None
 
     @property
     def num_disks(self) -> int:
@@ -108,6 +113,9 @@ class DiskArray:
 
     def read(self, nbytes: int, num_ios: int = 1) -> float:
         """Striped read: each disk serves an equal share in parallel."""
+        extra = 0.0
+        if self.fault_hook is not None:
+            extra = self.fault_hook("disk.read", nbytes)
         share = nbytes // self.num_disks
         remainder = nbytes - share * (self.num_disks - 1)
         costs = []
@@ -119,13 +127,16 @@ class DiskArray:
             )
             disk.stats.bytes_read += chunk
             disk.stats.num_reads += max(1, num_ios // self.num_disks)
-        cost = max(costs)
+        cost = max(costs) + extra
         if self.disks[0].clock is not None:
             self.disks[0].clock.advance(cost)
         return cost
 
     def write(self, nbytes: int, num_ios: int = 1) -> float:
         """Striped write: each disk absorbs an equal share in parallel."""
+        extra = 0.0
+        if self.fault_hook is not None:
+            extra = self.fault_hook("disk.write", nbytes)
         share = nbytes // self.num_disks
         remainder = nbytes - share * (self.num_disks - 1)
         costs = []
@@ -137,7 +148,7 @@ class DiskArray:
             )
             disk.stats.bytes_written += chunk
             disk.stats.num_writes += max(1, num_ios // self.num_disks)
-        cost = max(costs)
+        cost = max(costs) + extra
         if self.disks[0].clock is not None:
             self.disks[0].clock.advance(cost)
         return cost

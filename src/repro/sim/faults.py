@@ -1,0 +1,386 @@
+"""Deterministic, seedable fault injection for the storage stack.
+
+The paper's recovery experiments (Sec. 7, Fig. 6) kill nodes by hand; a
+production storage manager also has to survive the quieter failures —
+transient I/O errors, corrupted page images, latency spikes, dropped
+network transfers — and it has to do so *reproducibly* under test.  This
+module provides that layer:
+
+* :class:`FaultInjector` attaches to a :class:`~repro.cluster.cluster.PangeaCluster`
+  and injects faults at named points (``disk.read``, ``disk.write``,
+  ``net.transfer``, ``net.message``, ``mid-write``, ``mid-scan``,
+  ``mid-shuffle``, ``mid-recovery``).  Every probabilistic decision is
+  drawn from one seeded RNG, so a failure schedule replays exactly when
+  the same seed drives the same workload.
+* :class:`RetryPolicy` bounds the retry-with-backoff loops the disk and
+  network layers use to survive transient faults; backoff is charged as
+  simulated time, so flaky devices show up in the cost model.
+* :class:`RobustnessStats` counts what the stack *handled* (retries,
+  corruptions detected, read-repairs, failovers, recoveries) as opposed
+  to :class:`FaultStats`, which counts what the injector *did*.
+
+Fault streaks are bounded by ``FaultConfig.max_consecutive_faults`` so a
+bounded retry loop always wins against rate-based transient faults (the
+default streak bound of 2 is below the default 5 retry attempts); set the
+streak bound at or above ``max_attempts`` to test hard-failure paths.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+from dataclasses import dataclass, field
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.cluster.cluster import PangeaCluster
+    from repro.cluster.node import WorkerNode
+
+
+class FaultError(RuntimeError):
+    """Base class for every injected or detected storage fault."""
+
+
+class TransientDiskError(FaultError):
+    """A disk I/O failed transiently; retrying may succeed."""
+
+
+class TransientNetworkError(FaultError):
+    """A network transfer was dropped; retrying may succeed."""
+
+
+class PageCorruptionError(FaultError):
+    """A page image failed checksum verification on read."""
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded exponential backoff for transient disk/network faults.
+
+    ``backoff(attempt)`` is the simulated seconds charged before retry
+    number ``attempt`` (0-based); the total added latency of a fully
+    retried operation is therefore bounded and part of the cost model.
+    """
+
+    max_attempts: int = 5
+    base_backoff: float = 2e-3
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("retry policy needs at least one attempt")
+        if self.base_backoff < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be non-negative and non-decreasing")
+
+    def backoff(self, attempt: int) -> float:
+        return self.base_backoff * self.backoff_factor ** max(0, attempt)
+
+
+@dataclass
+class FaultConfig:
+    """Rates and magnitudes for the probabilistic fault classes.
+
+    All rates are per-operation probabilities in ``[0, 1]``.  Rates
+    default to zero: an attached injector with a default config only
+    fires explicitly scheduled faults (crashes, targeted corruption).
+    """
+
+    disk_read_error_rate: float = 0.0
+    disk_write_error_rate: float = 0.0
+    disk_latency_spike_rate: float = 0.0
+    disk_latency_spike_seconds: float = 5e-3
+    net_drop_rate: float = 0.0
+    net_slow_rate: float = 0.0
+    net_slow_seconds: float = 2e-3
+    #: Probability that a just-written page image is silently corrupted.
+    corruption_rate: float = 0.0
+    #: Upper bound on consecutive rate-based faults at one (point, node)
+    #: site.  Keep below RetryPolicy.max_attempts so bounded retries
+    #: always succeed against transient faults.
+    max_consecutive_faults: int = 2
+
+
+@dataclass
+class FaultStats:
+    """What the injector did (one counter per fault class)."""
+
+    disk_read_faults: int = 0
+    disk_write_faults: int = 0
+    latency_spikes: int = 0
+    net_drops: int = 0
+    net_slowdowns: int = 0
+    corruptions_injected: int = 0
+    crashes: int = 0
+
+    def reset(self) -> None:
+        self.disk_read_faults = 0
+        self.disk_write_faults = 0
+        self.latency_spikes = 0
+        self.net_drops = 0
+        self.net_slowdowns = 0
+        self.corruptions_injected = 0
+        self.crashes = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "disk_read_faults": self.disk_read_faults,
+            "disk_write_faults": self.disk_write_faults,
+            "latency_spikes": self.latency_spikes,
+            "net_drops": self.net_drops,
+            "net_slowdowns": self.net_slowdowns,
+            "corruptions_injected": self.corruptions_injected,
+            "crashes": self.crashes,
+        }
+
+    @property
+    def total(self) -> int:
+        return sum(self.as_dict().values())
+
+
+@dataclass
+class RobustnessStats:
+    """What the stack survived (the self-healing counter surface)."""
+
+    retries: int = 0
+    corruptions_detected: int = 0
+    read_repairs: int = 0
+    failovers: int = 0
+    recoveries: int = 0
+
+    def reset(self) -> None:
+        self.retries = 0
+        self.corruptions_detected = 0
+        self.read_repairs = 0
+        self.failovers = 0
+        self.recoveries = 0
+
+    def merge(self, other: "RobustnessStats") -> "RobustnessStats":
+        self.retries += other.retries
+        self.corruptions_detected += other.corruptions_detected
+        self.read_repairs += other.read_repairs
+        self.failovers += other.failovers
+        self.recoveries += other.recoveries
+        return self
+
+    def as_dict(self) -> dict:
+        return {
+            "retries": self.retries,
+            "corruptions_detected": self.corruptions_detected,
+            "read_repairs": self.read_repairs,
+            "failovers": self.failovers,
+            "recoveries": self.recoveries,
+        }
+
+
+#: The named points the stack instruments.  Rate-based faults fire only at
+#: the device points; the ``mid-*`` points exist for scheduled crashes.
+DEVICE_POINTS = ("disk.read", "disk.write", "net.transfer", "net.message")
+NAMED_POINTS = ("mid-write", "mid-scan", "mid-shuffle", "mid-recovery")
+
+
+class FaultInjector:
+    """Injects deterministic faults into an attached cluster.
+
+    >>> injector = FaultInjector(seed=7, config=FaultConfig(
+    ...     disk_write_error_rate=0.05))           # doctest: +SKIP
+    >>> injector.attach(cluster)                   # doctest: +SKIP
+    >>> injector.schedule_crash("mid-scan", node_id=2, at_count=3)  # doctest: +SKIP
+
+    Every decision is drawn from one ``random.Random(seed)``; in the
+    (deterministic, simulated-time) single-threaded mode the same seed and
+    workload replay the same fault schedule exactly.
+    """
+
+    def __init__(self, seed: int = 0, config: FaultConfig | None = None) -> None:
+        self.seed = seed
+        self.config = config or FaultConfig()
+        self.rng = random.Random(seed)
+        self.stats = FaultStats()
+        self.enabled = True
+        self.cluster: "PangeaCluster | None" = None
+        #: (point, node_id) -> fire-count at which the node crashes
+        self._crash_schedule: dict[tuple[str, int], int] = {}
+        #: (set_name, node_id|None) -> write-count at which to corrupt
+        self._corruption_schedule: dict[tuple[str, "int | None"], int] = {}
+        self._point_counts: dict[tuple[str, int], int] = {}
+        self._write_counts: dict[tuple[str, int], int] = {}
+        self._streaks: dict[tuple[str, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+
+    def attach(self, cluster: "PangeaCluster") -> "FaultInjector":
+        """Wire this injector into every node's devices and fault points."""
+        self.cluster = cluster
+        for node in cluster.nodes:
+            node.fault_injector = self
+
+            def hook(point: str, nbytes: int, _node=node) -> float:
+                return self.fire(point, _node, nbytes)
+
+            node.disks.fault_hook = hook
+            node.network.fault_hook = hook
+            node.network.retry_policy = node.retry_policy
+            node.network.robustness = node.robustness
+        return self
+
+    def detach(self) -> None:
+        if self.cluster is None:
+            return
+        for node in self.cluster.nodes:
+            if node.fault_injector is self:
+                node.fault_injector = None
+                node.disks.fault_hook = None
+                node.network.fault_hook = None
+        self.cluster = None
+
+    # ------------------------------------------------------------------
+    # scheduling (deterministic, count-based)
+    # ------------------------------------------------------------------
+
+    def schedule_crash(self, point: str, node_id: int, at_count: int = 1) -> None:
+        """Crash ``node_id`` on its ``at_count``-th firing of ``point``."""
+        if at_count < 1:
+            raise ValueError("at_count is 1-based and must be positive")
+        self._crash_schedule[(point, node_id)] = at_count
+
+    def schedule_corruption(
+        self, set_name: str, node_id: "int | None" = None, at_write: int = 1
+    ) -> None:
+        """Corrupt the ``at_write``-th page image written for ``set_name``
+        (optionally restricted to one node)."""
+        if at_write < 1:
+            raise ValueError("at_write is 1-based and must be positive")
+        self._corruption_schedule[(set_name, node_id)] = at_write
+
+    def corrupt_page(self, shard, page_id: int) -> None:
+        """Deterministically corrupt one existing on-disk page image."""
+        shard.file.corrupt_image(page_id)
+        self.stats.corruptions_injected += 1
+
+    # ------------------------------------------------------------------
+    # the fire path (called from instrumented code)
+    # ------------------------------------------------------------------
+
+    def fire(self, point: str, node: "WorkerNode", nbytes: int = 0) -> float:
+        """Evaluate faults at ``point`` on ``node``.
+
+        Returns extra latency (simulated seconds) for the caller to charge;
+        raises :class:`TransientDiskError` / :class:`TransientNetworkError`
+        for transient failures; crashes the node when a scheduled crash
+        count is reached (crashes mark the node failed without raising —
+        the failure detector and failover paths take it from there).
+        """
+        if not self.enabled:
+            return 0.0
+        key = (point, node.node_id)
+        count = self._point_counts.get(key, 0) + 1
+        self._point_counts[key] = count
+        crash_at = self._crash_schedule.get(key)
+        if crash_at is not None and count >= crash_at:
+            del self._crash_schedule[key]
+            self._crash(node)
+        cfg = self.config
+        extra = 0.0
+        if point == "disk.read":
+            if self._roll(cfg.disk_read_error_rate, key):
+                self.stats.disk_read_faults += 1
+                raise TransientDiskError(
+                    f"injected transient read error on node {node.node_id}"
+                )
+            extra += self._spike(
+                cfg.disk_latency_spike_rate, cfg.disk_latency_spike_seconds, key
+            )
+        elif point == "disk.write":
+            if self._roll(cfg.disk_write_error_rate, key):
+                self.stats.disk_write_faults += 1
+                raise TransientDiskError(
+                    f"injected transient write error on node {node.node_id}"
+                )
+            extra += self._spike(
+                cfg.disk_latency_spike_rate, cfg.disk_latency_spike_seconds, key
+            )
+        elif point == "net.transfer":
+            if self._roll(cfg.net_drop_rate, key):
+                self.stats.net_drops += 1
+                raise TransientNetworkError(
+                    f"injected dropped transfer on node {node.node_id}"
+                )
+            if cfg.net_slow_rate > 0 and self.rng.random() < cfg.net_slow_rate:
+                self.stats.net_slowdowns += 1
+                extra += cfg.net_slow_seconds
+        return extra
+
+    def should_corrupt(self, set_name: str, node: "WorkerNode", page_id: int) -> bool:
+        """Decide whether the page image just written should be corrupted."""
+        if not self.enabled:
+            return False
+        triggered = False
+        for scope in ((set_name, node.node_id), (set_name, None)):
+            count = self._write_counts.get(scope, 0) + 1
+            self._write_counts[scope] = count
+            at_write = self._corruption_schedule.get(scope)
+            if at_write is not None and count >= at_write:
+                del self._corruption_schedule[scope]
+                triggered = True
+        if not triggered and self.config.corruption_rate > 0:
+            triggered = self.rng.random() < self.config.corruption_rate
+        if triggered:
+            self.stats.corruptions_injected += 1
+        return triggered
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _crash(self, node: "WorkerNode") -> None:
+        if not node.failed:
+            node.fail()
+            self.stats.crashes += 1
+
+    def _roll(self, rate: float, streak_key: tuple[str, int]) -> bool:
+        """One RNG draw; streaks are capped so bounded retries succeed.
+
+        The draw is consumed whenever ``rate > 0`` regardless of the streak
+        state, which keeps the RNG stream (and therefore the replay)
+        independent of how faults were handled.
+        """
+        if rate <= 0:
+            return False
+        hit = self.rng.random() < rate
+        if not hit:
+            self._streaks[streak_key] = 0
+            return False
+        streak = self._streaks.get(streak_key, 0)
+        if streak >= self.config.max_consecutive_faults:
+            self._streaks[streak_key] = 0
+            return False
+        self._streaks[streak_key] = streak + 1
+        return True
+
+    def _spike(self, rate: float, seconds: float, streak_key: tuple[str, int]) -> float:
+        if rate <= 0:
+            return 0.0
+        if self.rng.random() < rate:
+            self.stats.latency_spikes += 1
+            return seconds
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector(seed={self.seed}, injected={self.stats.total}, "
+            f"attached={self.cluster is not None})"
+        )
+
+
+def fire_point(node, point: str, nbytes: int = 0) -> float:
+    """Fire a named fault point if ``node`` has an injector attached.
+
+    The instrumented call sites (sequential writer, page iterator, shuffle
+    flush, recovery loop) use this helper so an un-instrumented cluster
+    pays only one attribute check.
+    """
+    injector = getattr(node, "fault_injector", None)
+    if injector is None:
+        return 0.0
+    return injector.fire(point, node, nbytes)

@@ -11,6 +11,7 @@ import typing
 from dataclasses import dataclass, field
 
 from repro.sim.devices import MB
+from repro.sim.faults import RobustnessStats
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.cluster import PangeaCluster
@@ -32,6 +33,10 @@ class NodeMetrics:
     pageins: int
     bytes_paged_out: int
     bytes_paged_in: int
+    #: Self-healing counters (0 on clusters with no fault injection).
+    retries: int = 0
+    corruptions_detected: int = 0
+    read_repairs: int = 0
 
     @property
     def pool_utilization(self) -> float:
@@ -91,9 +96,22 @@ def collect(cluster: "PangeaCluster") -> ClusterMetrics:
                 pageins=node.pool.stats.pageins,
                 bytes_paged_out=node.pool.stats.bytes_paged_out,
                 bytes_paged_in=node.pool.stats.bytes_paged_in,
+                retries=node.robustness.retries,
+                corruptions_detected=node.robustness.corruptions_detected,
+                read_repairs=node.robustness.read_repairs,
             )
         )
     return snapshot
+
+
+def aggregate_robustness(cluster: "PangeaCluster") -> RobustnessStats:
+    """Merge every node's self-healing counters with the cluster's own
+    (failovers and automatic recoveries are counted cluster-side)."""
+    total = RobustnessStats()
+    for node in cluster.nodes:
+        total.merge(node.robustness)
+    total.merge(cluster.robustness)
+    return total
 
 
 def format_table(metrics: ClusterMetrics) -> str:
@@ -116,4 +134,12 @@ def format_table(metrics: ClusterMetrics) -> str:
         f"{metrics.total_network_bytes // MB}MB network, "
         f"skew {metrics.skew():.2f}"
     )
+    retries = sum(n.retries for n in metrics.nodes)
+    repairs = sum(n.read_repairs for n in metrics.nodes)
+    corruptions = sum(n.corruptions_detected for n in metrics.nodes)
+    if retries or repairs or corruptions:
+        lines.append(
+            f"robustness: {retries} retries, {corruptions} corruptions "
+            f"detected, {repairs} read-repairs"
+        )
     return "\n".join(lines)

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.sim.clock import SimClock
 from repro.sim.devices import GB
+from repro.sim.faults import RetryPolicy, TransientNetworkError
 
 
 @dataclass
@@ -41,22 +42,59 @@ class NetworkLink:
         self.latency = float(latency)
         self.clock = clock
         self.stats = NetworkStats()
+        #: Optional fault hook ``(point, nbytes) -> extra_seconds``; installed
+        #: by :meth:`repro.sim.faults.FaultInjector.attach`.  May raise
+        #: :class:`~repro.sim.faults.TransientNetworkError`, which the
+        #: built-in bounded retry loop absorbs (charging backoff time).
+        self.fault_hook = None
+        self.retry_policy: RetryPolicy | None = None
+        #: The owning node's RobustnessStats (set at injector attach time)
+        #: so network retries are counted on the node that performed them.
+        self.robustness = None
 
     def _charge(self, seconds: float) -> float:
         if self.clock is not None:
             self.clock.advance(seconds)
         return seconds
 
+    def _fire_with_retries(self, point: str, nbytes: int) -> float:
+        """Fire the fault hook, retrying dropped sends with backoff."""
+        if self.fault_hook is None:
+            return 0.0
+        policy = self.retry_policy or RetryPolicy()
+        attempt = 0
+        while True:
+            try:
+                return self.fault_hook(point, nbytes)
+            except TransientNetworkError:
+                attempt += 1
+                if attempt >= policy.max_attempts:
+                    raise
+                if self.robustness is not None:
+                    self.robustness.retries += 1
+                # Backoff is charged immediately; the successful attempt's
+                # extra latency (if any) is returned to the caller.
+                self._charge(policy.backoff(attempt - 1))
+
     def transfer(self, nbytes: int, num_messages: int = 1) -> float:
-        """Charge a bulk transfer of ``nbytes`` in ``num_messages`` messages."""
+        """Charge a bulk transfer of ``nbytes`` in ``num_messages`` messages.
+
+        Transfers survive injected transient drops transparently: each
+        dropped attempt charges exponential backoff as simulated time and
+        is retried up to the attached :class:`RetryPolicy`'s bound.
+        """
         if nbytes < 0:
             raise ValueError("cannot transfer a negative number of bytes")
+        extra = self._fire_with_retries("net.transfer", nbytes)
         num_messages = max(1, num_messages)
         self.stats.bytes_sent += nbytes
         self.stats.num_messages += num_messages
-        return self._charge(num_messages * self.latency + nbytes / self.bandwidth)
+        return self._charge(
+            num_messages * self.latency + nbytes / self.bandwidth + extra
+        )
 
     def message(self, num_messages: int = 1) -> float:
         """Charge control-plane messages (page pin/unpin metadata etc.)."""
+        extra = self._fire_with_retries("net.message", 0)
         self.stats.num_messages += num_messages
-        return self._charge(num_messages * self.latency)
+        return self._charge(num_messages * self.latency + extra)

@@ -35,7 +35,14 @@ class TestSetFile:
         handle.write_page(1, ["v1"], 1 * MB)
         first = handle.location(1)
         handle.write_page(1, ["v2"], 1 * MB)
-        assert handle.location(1) == first
+        second = handle.location(1)
+        # Same physical placement; only the checksum tracks the new payload.
+        assert (second.disk_index, second.offset, second.nbytes) == (
+            first.disk_index,
+            first.offset,
+            first.nbytes,
+        )
+        assert second.checksum != first.checksum
         got, _ = handle.read_page(1)
         assert got == ["v2"]
 
@@ -71,6 +78,64 @@ class TestSetFile:
         before = clock.now
         handle.write_page(1, [], 64 * MB)
         assert clock.now > before
+
+
+class TestExtentRecycling:
+    def test_drop_topmost_page_shrinks_disk_head(self, disks):
+        handle = SetFile("s", disks)
+        handle.write_page(1, ["a"], 1 * MB)
+        assert handle.disk_head_bytes == 1 * MB
+        handle.drop_page(1)
+        assert handle.disk_head_bytes == 0
+        assert handle.free_extent_bytes == 0
+        handle.assert_extent_accounting()
+
+    def test_dropped_extent_is_reused(self, disks):
+        handle = SetFile("s", disks)
+        for page_id in range(1, 5):  # two pages per disk
+            handle.write_page(page_id, [page_id], 1 * MB)
+        head = handle.disk_head_bytes
+        handle.drop_page(1)  # not topmost on its disk -> free list
+        assert handle.free_extent_bytes == 1 * MB
+        handle.write_page(5, ["reused"], 1 * MB)
+        assert handle.free_extent_bytes == 0
+        assert handle.disk_head_bytes == head
+        # Page 5 landed in page 1's recycled extent (disk 0, offset 0).
+        assert handle.location(5).disk_index == handle.location(3).disk_index
+        assert handle.location(5).offset == 0
+        handle.assert_extent_accounting()
+
+    def test_write_drop_churn_does_not_grow_offsets(self, disks):
+        """The leak this fixes: transient sets that repeatedly write and
+        drop pages must not advance their disk offsets unboundedly."""
+        handle = SetFile("s", disks)
+        for i in range(50):
+            handle.write_page(100 + i, [i], 1 * MB)
+            handle.drop_page(100 + i)
+            handle.assert_extent_accounting()
+        assert handle.disk_head_bytes <= 2 * MB
+
+    def test_smaller_rewrite_keeps_extent_accounting(self, disks):
+        handle = SetFile("s", disks)
+        handle.write_page(1, ["big"], 2 * MB)
+        handle.write_page(1, ["small"], 1 * MB)
+        location = handle.location(1)
+        assert location.nbytes == 1 * MB
+        assert location.allocated_bytes == 2 * MB
+        handle.assert_extent_accounting()
+        handle.drop_page(1)
+        assert handle.disk_head_bytes == 0
+        handle.assert_extent_accounting()
+
+    def test_truncate_clears_free_extents(self, disks):
+        handle = SetFile("s", disks)
+        for page_id in range(1, 5):
+            handle.write_page(page_id, [page_id], 1 * MB)
+        handle.drop_page(1)
+        handle.truncate()
+        assert handle.free_extent_bytes == 0
+        assert handle.disk_head_bytes == 0
+        handle.assert_extent_accounting()
 
 
 class TestNodeFS:

@@ -86,7 +86,7 @@ class TestQueryOverRecoveredData:
             for page in shard.pages:
                 records = page.records
                 if not records and page.on_disk:
-                    records = shard.file._payloads.get(page.page_id, [])
+                    records = shard.file.peek_records(page.page_id)
                 recovered_ids.update(r["id"] for r in records)
         assert recovered_ids == set(range(600))
 

@@ -31,7 +31,7 @@ def surviving_ids(dataset, failed_node):
         for page in shard.pages:
             records = page.records
             if not records and page.on_disk:
-                records = shard.file._payloads.get(page.page_id, [])
+                records = shard.file.peek_records(page.page_id)
             for record in records:
                 ids.add(record["id"])
     return ids
@@ -106,3 +106,60 @@ class TestRecovery:
         ratio4 = group4.num_colliding / 800
         ratio8 = group8.num_colliding / 800
         assert ratio8 < ratio4
+
+
+class TestRecoveryEdgeCases:
+    def test_recover_node_twice_is_idempotent(self):
+        cluster, group, src, rep_a, rep_b = build()
+        first = recover_node(cluster, group, failed_node=1)
+        assert first.objects_recovered > 0
+        assert 1 in group.recovered_nodes
+        counts_after_first = {
+            name: cluster.get_set(name).num_objects for name in ("rep_a", "rep_b")
+        }
+        second = recover_node(cluster, group, failed_node=1)
+        # The second call is a no-op: nothing re-dispatched, no duplicates.
+        assert second.objects_recovered == 0
+        assert second.seconds == 0
+        for name, count in counts_after_first.items():
+            assert cluster.get_set(name).num_objects == count
+        assert surviving_ids(rep_a, 1) == set(range(800))
+
+    def test_two_randomly_dispatched_members_recover(self):
+        """Neither member has a partitioner: recovery must fall back to the
+        lost-id metadata scan for both directions."""
+        cluster = PangeaCluster(
+            num_nodes=4, profile=MachineProfile.tiny(pool_bytes=32 * MB)
+        )
+        records = [{"id": i, "v": i * 7} for i in range(400)]
+        rep_a = cluster.create_set("ra", page_size=1 * MB, object_bytes=100)
+        rep_a.add_data(records)
+        rep_b = cluster.create_set("rb", page_size=1 * MB, object_bytes=100)
+        rep_b.add_data(records)
+        group = register_replica(rep_a, rep_b, object_id_fn=lambda r: r["id"])
+        assert rep_a.partitioner is None and rep_b.partitioner is None
+        report = recover_node(cluster, group, failed_node=2)
+        assert report.objects_recovered > 0
+        assert surviving_ids(rep_a, 2) == set(range(400))
+        assert surviving_ids(rep_b, 2) == set(range(400))
+
+    def test_recovery_near_full_pool_does_not_deadlock(self):
+        """Re-dispatched writes land while the survivors' pools are nearly
+        full; bounded eviction must keep making room instead of
+        livelocking or raising."""
+        cluster = PangeaCluster(
+            num_nodes=3, profile=MachineProfile.tiny(pool_bytes=4 * MB)
+        )
+        records = [{"id": i, "v": i} for i in range(900)]
+        rep_a = cluster.create_set("ra", page_size=1 * MB, object_bytes=1000)
+        rep_a.add_data(records)
+        rep_b = cluster.create_set("rb", page_size=1 * MB, object_bytes=1000)
+        rep_b.add_data(records)
+        group = register_replica(rep_a, rep_b, object_id_fn=lambda r: r["id"])
+        for node in cluster.nodes:
+            assert node.pool.used_bytes > 0
+        report = recover_node(cluster, group, failed_node=0)
+        assert report.objects_recovered > 0
+        assert surviving_ids(rep_a, 0) == set(range(900))
+        for node in cluster.alive_nodes():
+            node.pool.check_invariants()

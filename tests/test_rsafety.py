@@ -37,7 +37,7 @@ def all_ids(dataset, failed=()):
         for page in shard.pages:
             records = page.records
             if not records and page.on_disk:
-                records = shard.file._payloads.get(page.page_id, [])
+                records = shard.file.peek_records(page.page_id)
             ids.update(r["id"] for r in records)
     return ids
 
