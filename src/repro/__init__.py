@@ -31,6 +31,7 @@ from repro.core import (
     WritingPattern,
     make_policy,
 )
+from repro.obs import NodeTracer, SetMetrics, TraceEvent, Tracer, to_chrome, to_jsonl
 from repro.sim import (
     FaultConfig,
     FaultInjector,
@@ -71,6 +72,12 @@ __all__ = [
     "PageCorruptionError",
     "RetryPolicy",
     "RobustnessStats",
+    "Tracer",
+    "NodeTracer",
+    "TraceEvent",
+    "SetMetrics",
+    "to_jsonl",
+    "to_chrome",
     "KB",
     "MB",
     "GB",

@@ -7,6 +7,10 @@ Commands:
 * ``tpch-run``            — load TPC-H, run the queries, report timings
 * ``kmeans``              — run the k-means comparison (Fig. 3 story)
 * ``policies``            — compare paging policies on a scan workload
+* ``metrics``             — run the smoke workload, print per-node and
+  per-set metrics tables, and reconcile them against the pool counters
+* ``trace``               — run the smoke workload with tracing on and
+  export the event stream (Chrome trace JSON or JSONL)
 """
 
 from __future__ import annotations
@@ -139,6 +143,47 @@ def cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.report import run_smoke
+    from repro.sim.metrics import format_set_table, format_table
+
+    report = run_smoke(
+        nodes=args.nodes, pool_mb=args.pool_mb, trace=False, policy=args.policy
+    )
+    print(format_table(report.metrics))
+    print()
+    print(format_set_table(report.metrics))
+    mismatches = report.mismatches
+    if mismatches:
+        print()
+        print("RECONCILIATION FAILED:")
+        for problem in mismatches:
+            print(f"  {problem}")
+        return 1
+    print()
+    print("per-set metrics reconcile exactly with the pool counters")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.exporters import to_chrome, to_jsonl
+    from repro.obs.report import run_smoke
+
+    report = run_smoke(nodes=args.nodes, pool_mb=args.pool_mb, trace=True,
+                       policy=args.policy)
+    tracer = report.tracer
+    if args.format == "chrome":
+        count = to_chrome(tracer, args.out)
+    else:
+        count = to_jsonl(tracer, args.out)
+    print(f"wrote {count} events to {args.out} ({args.format} format)")
+    print(f"emitted {tracer.emitted}, dropped {tracer.dropped} "
+          f"(ring capacity {tracer.capacity})")
+    for cat, n in sorted(tracer.category_counts().items()):
+        print(f"  {cat:10s} {n:7d}")
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Pangea reproduction command line"
@@ -171,6 +216,19 @@ def main(argv: "list[str] | None" = None) -> int:
                    default="data-aware,dbmin-tuned,mru,lru,greedy-dual,lru-2")
     p.add_argument("--pool-mb", type=int, default=32)
 
+    p = sub.add_parser("metrics",
+                       help="smoke workload + metrics tables + reconciliation")
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--pool-mb", type=int, default=8)
+    p.add_argument("--policy", default="data-aware")
+
+    p = sub.add_parser("trace", help="smoke workload with tracing, exported")
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--pool-mb", type=int, default=8)
+    p.add_argument("--policy", default="data-aware")
+    p.add_argument("--out", default="trace.json")
+    p.add_argument("--format", choices=("chrome", "jsonl"), default="chrome")
+
     args = parser.parse_args(argv)
     handlers = {
         "info": cmd_info,
@@ -178,6 +236,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "tpch-run": cmd_tpch_run,
         "kmeans": cmd_kmeans,
         "policies": cmd_policies,
+        "metrics": cmd_metrics,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

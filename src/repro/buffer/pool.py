@@ -130,6 +130,9 @@ class BufferPool:
         #: The node's storage lock; shards and the paging system take it
         #: around every page-state transition.
         self.lock = threading.RLock()
+        #: Optional :class:`~repro.obs.tracer.NodeTracer`; installed by
+        #: :meth:`repro.cluster.node.WorkerNode.attach_tracer`.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # placement and release
@@ -147,6 +150,14 @@ class BufferPool:
                     page.offset = offset
                     self.pages[page.page_id] = page
                     self.stats.placements += 1
+                    tracer = self.tracer
+                    if tracer is not None:
+                        tracer.instant("pool.place", "buffer",
+                                       page_id=page.page_id, size=page.size,
+                                       eviction_rounds=rounds)
+                        tracer.counter("pool.used_bytes", "buffer",
+                                       used=self._alloc.used_bytes,
+                                       capacity=self.capacity)
                     return
                 if self.evictor is None:
                     raise BufferPoolFullError(
@@ -185,6 +196,10 @@ class BufferPool:
             page.offset = None
             del self.pages[page.page_id]
             self.stats.releases += 1
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.instant("pool.release", "buffer",
+                               page_id=page.page_id, size=page.size)
 
     # ------------------------------------------------------------------
     # pinning
@@ -198,6 +213,10 @@ class BufferPool:
                     f"page {page.page_id} must be placed in memory before pinning"
                 )
             page.pin_count += 1
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.instant("pool.pin", "buffer", page_id=page.page_id,
+                               pin_count=page.pin_count)
 
     def unpin(self, page: Page) -> None:
         with self.lock:

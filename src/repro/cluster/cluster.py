@@ -48,6 +48,8 @@ class PangeaCluster:
         #: Cluster-level self-healing counters (failovers, recoveries);
         #: per-node counters live on each WorkerNode.robustness.
         self.robustness = RobustnessStats()
+        #: Shared structured tracer; None until enable_tracing() is called.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # set management
@@ -110,6 +112,29 @@ class PangeaCluster:
     # ------------------------------------------------------------------
     # time and synchronization
     # ------------------------------------------------------------------
+
+    def enable_tracing(self, capacity: "int | None" = None) -> "object":
+        """Install one shared structured tracer across every node.
+
+        Hot paths (pool placement, pins, evictions, disk and network I/O,
+        paging decisions) start emitting :class:`~repro.obs.tracer.TraceEvent`
+        records timestamped off each node's simulated clock.  Returns the
+        :class:`~repro.obs.tracer.Tracer`; export it with
+        :func:`repro.obs.to_jsonl` / :func:`repro.obs.to_chrome`.
+        """
+        from repro.obs.tracer import DEFAULT_CAPACITY, Tracer
+
+        tracer = Tracer(capacity or DEFAULT_CAPACITY)
+        for node in self.nodes:
+            node.attach_tracer(tracer)
+        self.tracer = tracer
+        return tracer
+
+    def disable_tracing(self) -> None:
+        """Detach the tracer; hook sites revert to zero-cost no-ops."""
+        for node in self.nodes:
+            node.detach_tracer()
+        self.tracer = None
 
     def enable_self_healing(
         self,

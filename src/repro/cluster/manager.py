@@ -76,6 +76,14 @@ class HeartbeatFailureDetector:
                 latest = self.cluster.barrier() + self.detection_delay
                 for node in self.cluster.nodes:
                     node.clock.advance_to(latest)
+                for node in self.cluster.nodes:
+                    if node.tracer is not None and not node.failed:
+                        node.tracer.instant(
+                            "failover.detected", "recovery",
+                            dead_nodes=list(detected),
+                            auto_recover=self.auto_recover,
+                        )
+                        break
                 if self.auto_recover:
                     for node_id in detected:
                         self._recover(node_id)

@@ -52,6 +52,33 @@ class WorkerNode:
         self.retry_policy = RetryPolicy()
         #: Set by FaultInjector.attach; None on a healthy cluster.
         self.fault_injector = None
+        #: Per-node view of the cluster tracer; None while tracing is
+        #: disabled so every hook site stays a single is-None check.
+        self.tracer = None
+
+    def attach_tracer(self, tracer) -> "object":
+        """Bind a shared :class:`~repro.obs.tracer.Tracer` to this node.
+
+        Installs the node-bound view on every subsystem that hooks the
+        trace: the disk array, the network link, the buffer pool, and the
+        paging system.  Returns the :class:`~repro.obs.tracer.NodeTracer`.
+        """
+        from repro.obs.tracer import NodeTracer
+
+        view = NodeTracer(tracer, self.node_id, self.clock, self.paging._ticks)
+        self.tracer = view
+        self.disks.tracer = view
+        self.network.tracer = view
+        self.pool.tracer = view
+        self.paging.tracer = view
+        return view
+
+    def detach_tracer(self) -> None:
+        self.tracer = None
+        self.disks.tracer = None
+        self.network.tracer = None
+        self.pool.tracer = None
+        self.paging.tracer = None
 
     def next_page_id(self) -> int:
         """Node-local page ids; globally unique as (node_id, page_id)."""
@@ -73,6 +100,7 @@ class WorkerNode:
     def reset_stats(self) -> None:
         self.pool.stats.reset()
         self.paging.stats.reset()
+        self.paging.reset_set_metrics()
         self.disks.reset_stats()
         self.network.stats.reset()
         self.robustness.reset()

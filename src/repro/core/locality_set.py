@@ -14,6 +14,7 @@ import threading
 import typing
 
 from repro.buffer.page import Page
+from repro.obs.registry import SetMetrics
 from repro.core.attributes import (
     CurrentOperation,
     DurabilityType,
@@ -26,6 +27,13 @@ from repro.sim.faults import PageCorruptionError
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.cluster.node import WorkerNode
     from repro.services.sequential import PageIterator
+
+
+class EvictResult(typing.NamedTuple):
+    """What one eviction actually did."""
+
+    freed: int  #: bytes released from the buffer pool
+    flushed: bool  #: True only when the eviction wrote the page image out
 
 
 class LocalShard:
@@ -45,6 +53,8 @@ class LocalShard:
         self.node = node
         self.pages: list[Page] = []
         self._by_id: dict[int, Page] = {}
+        #: Per-set observability counters (always on; see repro.obs.registry).
+        self.metrics = SetMetrics(set_name=dataset.name)
 
     # ------------------------------------------------------------------
     # convenience accessors
@@ -87,17 +97,32 @@ class LocalShard:
             self.pages.append(page)
             self._by_id[page.page_id] = page
             self.attributes.access_recency = page.last_access_tick
+            self.metrics.created_pages += 1
+            tracer = self.node.tracer
+            if tracer is not None:
+                tracer.instant("shard.new_page", "shard",
+                               set=self.dataset.name, page_id=page.page_id)
             return page
 
     def seal_page(self, page: Page) -> None:
         """Finish writing a page; write-through sets persist it immediately."""
         with self.pool.lock:
             page.seal()
+            tracer = self.node.tracer
             if self.attributes.durability is DurabilityType.WRITE_THROUGH:
+                start = self.node.clock.now
                 self.file.write_page(page.page_id, page.records, page.size)
                 page.on_disk = True
                 page.dirty = False
                 self.paging.note_page_image(page)
+                if tracer is not None:
+                    tracer.span("shard.seal", "shard", start,
+                                self.node.clock.now - start,
+                                set=self.dataset.name, page_id=page.page_id,
+                                persisted=True)
+            elif tracer is not None:
+                tracer.instant("shard.seal", "shard", set=self.dataset.name,
+                               page_id=page.page_id, persisted=False)
 
     def touch(self, page: Page) -> None:
         """Record a page access for the recency model."""
@@ -108,12 +133,14 @@ class LocalShard:
     def pin_page(self, page: Page) -> Page:
         """Pin a page, reloading it from disk if it was evicted."""
         with self.pool.lock:
+            self.metrics.pins += 1
             if not page.in_memory:
                 if not page.on_disk:
                     raise ValueError(
                         f"page {page.page_id} of set {self.dataset.name!r} is "
                         f"neither in memory nor on disk"
                     )
+                start = self.node.clock.now
                 try:
                     records, _cost = self.file.read_page(page.page_id)
                 except PageCorruptionError:
@@ -123,6 +150,8 @@ class LocalShard:
                 page.dirty = False
                 self.pool.stats.pageins += 1
                 self.pool.stats.bytes_paged_in += page.size
+                self.metrics.misses += 1
+                self.metrics.bytes_paged_in += page.size
                 # Re-reading spilled random-access data pays a reconstruction
                 # penalty (the paper's wr > 1): rebuild costs CPU time.
                 if self.attributes.reading_pattern is ReadingPattern.RANDOM_READ:
@@ -131,6 +160,12 @@ class LocalShard:
                         self.node.cpu.compute(
                             extra * page.size / self.node.disks.disks[0].read_bandwidth
                         )
+                tracer = self.node.tracer
+                if tracer is not None:
+                    tracer.span("shard.pagein", "paging", start,
+                                self.node.clock.now - start,
+                                set=self.dataset.name, page_id=page.page_id,
+                                nbytes=page.size)
             self.pool.pin(page)
             self.touch(page)
             return page
@@ -198,7 +233,8 @@ class LocalShard:
                             matched += 1
                     if matched and shard.node is not self.node:
                         shard.node.network.transfer(
-                            matched * dataset.object_bytes
+                            matched * dataset.object_bytes,
+                            peer=self.node.network,
                         )
         if wanted:
             raise PageCorruptionError(
@@ -210,20 +246,30 @@ class LocalShard:
         self.file.write_page(page.page_id, repaired, page.size)
         self.node.robustness.read_repairs += 1
         self.pool.stats.read_repairs += 1
+        self.metrics.read_repairs += 1
+        tracer = self.node.tracer
+        if tracer is not None:
+            tracer.instant("shard.read_repair", "recovery",
+                           set=dataset.name, page_id=page.page_id)
         return repaired
 
-    def evict_page(self, page: Page) -> int:
-        """Evict one unpinned page; returns the bytes freed.
+    def evict_page(self, page: Page) -> EvictResult:
+        """Evict one unpinned page; reports the bytes freed and whether the
+        page image was actually written out.
 
         Dirty pages of live write-back sets are flushed to the set's file
         first (the paper's ``cw`` term becomes real I/O here); pages of
-        dead sets or already-persisted pages are simply dropped.
+        dead sets or already-persisted pages are simply dropped.  The
+        ``flushed`` flag in the result is the ground truth the eviction
+        trace records — a dirty page whose image was already persisted is
+        *not* reported as flushed.
         """
         with self.pool.lock:
             if page.pinned:
                 raise ValueError(f"cannot evict pinned page {page.page_id}")
             if not page.in_memory:
                 raise ValueError(f"page {page.page_id} is not in memory")
+            start = self.node.clock.now
             must_flush = (
                 page.dirty
                 and self.attributes.alive
@@ -235,12 +281,21 @@ class LocalShard:
                 page.dirty = False
                 self.pool.stats.pageouts += 1
                 self.pool.stats.bytes_paged_out += page.size
+                self.metrics.flushed_pages += 1
+                self.metrics.flushed_bytes += page.size
                 self.paging.note_page_image(page)
             freed = page.size
             self.pool.release(page)
             page.records = []
             self.pool.stats.evictions += 1
-            return freed
+            self.metrics.evictions += 1
+            tracer = self.node.tracer
+            if tracer is not None:
+                tracer.span("shard.evict", "paging", start,
+                            self.node.clock.now - start,
+                            set=self.dataset.name, page_id=page.page_id,
+                            flushed=must_flush, nbytes=freed)
+            return EvictResult(freed=freed, flushed=must_flush)
 
     def drop_page(self, page: Page) -> None:
         """Remove a page from the shard entirely (set deletion/truncation)."""
@@ -442,4 +497,4 @@ class LocalitySet:
         )
 
 
-__all__ = ["LocalitySet", "LocalShard", "WritingPattern"]
+__all__ = ["EvictResult", "LocalitySet", "LocalShard", "WritingPattern"]

@@ -7,7 +7,8 @@ import typing
 from collections import deque
 from dataclasses import dataclass
 
-from repro.core.policies import PagingPolicy, make_policy
+from repro.core.policies import PagingPolicy, make_policy, set_strategy
+from repro.obs.registry import SetMetrics, merge_set_metrics
 from repro.sim.clock import TickCounter
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -70,6 +71,12 @@ class PagingSystem:
         self.trace: "deque[EvictionEvent] | None" = (
             deque(maxlen=trace_capacity) if trace_capacity > 0 else None
         )
+        #: Per-set counters of shards that were unregistered (set dropped);
+        #: kept so per-set totals still reconcile with PoolStats afterwards.
+        self.retired_set_metrics: dict[str, SetMetrics] = {}
+        #: Optional :class:`~repro.obs.tracer.NodeTracer`; installed by
+        #: :meth:`repro.cluster.node.WorkerNode.attach_tracer`.
+        self.tracer = None
 
     def enable_trace(self, capacity: int = 1024) -> None:
         """Start recording eviction events (bounded ring)."""
@@ -94,6 +101,7 @@ class PagingSystem:
         with self._lock:
             if shard in self._shards:
                 self._shards.remove(shard)
+                merge_set_metrics(self.retired_set_metrics, [shard.metrics])
 
     @property
     def shards(self) -> "list[LocalShard]":
@@ -145,18 +153,43 @@ class PagingSystem:
         forever.
         """
         with self._lock:
+            tracer = self.tracer
+            start = tracer.now if tracer is not None else 0.0
+            self.policy.last_decision = None
             victims = self.policy.select_victims(self._shards, needed_bytes)
+            decision = getattr(self.policy, "last_decision", None)
+            if decision is not None:
+                # The data-aware policy exposes the cost-model evaluation
+                # behind its choice; feed it to the victim set's registry
+                # entry and (when enabled) the structured trace.
+                set_name, tick, breakdown = decision
+                for shard in self._shards:
+                    if shard.dataset.name == set_name:
+                        shard.metrics.note_cost_sample(
+                            breakdown.total, breakdown.preuse
+                        )
+                        break
+                if tracer is not None:
+                    tracer.instant(
+                        "paging.victim", "paging", set=set_name,
+                        cost=breakdown.total, cw=breakdown.cw,
+                        vr=breakdown.vr, wr=breakdown.wr,
+                        preuse=breakdown.preuse, age=breakdown.age,
+                        policy=self.policy.name,
+                    )
             if not victims:
                 return False
             evicted = 0
+            freed_bytes = 0
             for page in victims:
                 if page.shard is None:  # pragma: no cover - defensive
                     continue
                 if not page.in_memory or page.pinned:
                     continue
                 was_dirty = page.dirty
-                page.shard.evict_page(page)
+                result = page.shard.evict_page(page)
                 evicted += 1
+                freed_bytes += result.freed
                 self.stats.pages_evicted += 1
                 if self.trace is not None:
                     self.trace.append(
@@ -165,14 +198,47 @@ class PagingSystem:
                             set_name=page.shard.dataset.name,
                             page_id=page.page_id,
                             was_dirty=was_dirty,
-                            flushed=page.on_disk and was_dirty,
+                            flushed=result.flushed,
                             policy=self.policy.name,
                         )
                     )
             if evicted == 0:
                 return False
             self.stats.eviction_rounds += 1
+            if tracer is not None:
+                tracer.span("paging.make_room", "paging", start,
+                            tracer.now - start, needed_bytes=needed_bytes,
+                            evicted=evicted, freed_bytes=freed_bytes,
+                            policy=self.policy.name)
             return True
+
+    def set_metrics(self) -> "dict[str, SetMetrics]":
+        """Per-set counters on this node: live shards plus retired sets.
+
+        Live entries are stamped with the eviction strategy currently in
+        force for the set; the returned records are copies, safe to merge
+        and keep after the shards change.
+        """
+        with self._lock:
+            out: dict[str, SetMetrics] = {}
+            merge_set_metrics(out, self.retired_set_metrics)
+            for shard in self._shards:
+                record = shard.metrics.copy()
+                record.strategy = set_strategy(shard)
+                existing = out.get(record.set_name)
+                if existing is None:
+                    out[record.set_name] = record
+                else:
+                    existing.merge(record)
+                    existing.strategy = record.strategy
+            return out
+
+    def reset_set_metrics(self) -> None:
+        """Zero every per-set counter (live shards and retired sets)."""
+        with self._lock:
+            self.retired_set_metrics.clear()
+            for shard in self._shards:
+                shard.metrics.reset()
 
     def set_policy(self, policy: "PagingPolicy | str") -> None:
         if isinstance(policy, str):

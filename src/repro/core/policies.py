@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 import typing
+from dataclasses import dataclass
 
 from repro.buffer.page import Page
 from repro.core.attributes import (
@@ -92,11 +93,41 @@ def victim_batch(shard: "LocalShard") -> list[Page]:
     return ordered[:count]
 
 
-def eviction_cost(shard: "LocalShard", page: Page, now_tick: int, horizon: float = 1.0) -> float:
-    """Expected cost of evicting ``page``: ``cw + preuse * cr`` (paper Sec. 6)."""
+@dataclass(frozen=True)
+class CostBreakdown:
+    """The inputs behind one ``cw + preuse * cr`` estimate.
+
+    Recorded by the paging system for every data-aware victim choice, so
+    traces and the per-set metrics registry can show *why* a set was
+    evicted, not just that it was.
+    """
+
+    cw: float  #: expected write-out cost (0 when no flush is needed)
+    vr: float  #: striped re-read cost of the page
+    wr: float  #: random-reread penalty multiplier (1.0 for sequential)
+    preuse: float  #: probability the page is re-used within the horizon
+    age: int  #: ticks since the page's last access
+
+    @property
+    def total(self) -> float:
+        return self.cw + self.preuse * self.vr * self.wr
+
+
+def eviction_cost_breakdown(
+    shard: "LocalShard", page: Page, now_tick: int, horizon: float = 1.0
+) -> CostBreakdown:
+    """The full cost-model evaluation for evicting ``page``.
+
+    ``vw``/``vr`` price the page against the disk array's *actual* striped
+    transfer cost (:meth:`DiskArray.estimate_write_seconds
+    <repro.sim.devices.DiskArray.estimate_write_seconds>`), so a
+    heterogeneous array is bounded by its slowest disk's share exactly as
+    :meth:`DiskArray.read <repro.sim.devices.DiskArray.read>` charges it —
+    not by naively dividing disk 0's bandwidth across the array.
+    """
     disks = shard.node.disks
-    vw = page.size / disks.disks[0].write_bandwidth / disks.num_disks
-    vr = page.size / disks.disks[0].read_bandwidth / disks.num_disks
+    vw = disks.estimate_write_seconds(page.size)
+    vr = disks.estimate_read_seconds(page.size)
     needs_flush = (
         shard.attributes.durability is DurabilityType.WRITE_BACK
         and page.dirty
@@ -114,7 +145,12 @@ def eviction_cost(shard: "LocalShard", page: Page, now_tick: int, horizon: float
     else:
         lam = 1.0 / age
         preuse = 1.0 - math.exp(-lam * horizon)
-    return cw + preuse * vr * wr
+    return CostBreakdown(cw=cw, vr=vr, wr=wr, preuse=preuse, age=max(0, age))
+
+
+def eviction_cost(shard: "LocalShard", page: Page, now_tick: int, horizon: float = 1.0) -> float:
+    """Expected cost of evicting ``page``: ``cw + preuse * cr`` (paper Sec. 6)."""
+    return eviction_cost_breakdown(shard, page, now_tick, horizon).total
 
 
 class PagingPolicy:
@@ -138,6 +174,10 @@ class DataAwarePolicy(PagingPolicy):
 
     def __init__(self, horizon: float = 1.0) -> None:
         self.horizon = horizon
+        #: The cost-model evaluation behind the most recent victim choice:
+        #: ``(set_name, tick, CostBreakdown)``.  Read by the paging system
+        #: (under its lock) to feed traces and the per-set registry.
+        self.last_decision: "tuple[str, int, CostBreakdown] | None" = None
 
     def select_victims(
         self, shards: "list[LocalShard]", needed_bytes: int
@@ -149,17 +189,20 @@ class DataAwarePolicy(PagingPolicy):
         candidates = dead if dead else evictable
         now = candidates[0].paging.current_tick
         best_shard = None
+        best: "CostBreakdown | None" = None
         best_cost = math.inf
         for shard in candidates:
             victim = next_victim(shard)
             if victim is None:
                 continue
-            cost = eviction_cost(shard, victim, now, self.horizon)
-            if cost < best_cost:
-                best_cost = cost
+            breakdown = eviction_cost_breakdown(shard, victim, now, self.horizon)
+            if breakdown.total < best_cost:
+                best_cost = breakdown.total
                 best_shard = shard
+                best = breakdown
         if best_shard is None:
             return []
+        self.last_decision = (best_shard.dataset.name, now, best)
         return victim_batch(best_shard)
 
 
@@ -292,8 +335,9 @@ class GreedyDualPolicy(PagingPolicy):
 
     def _refetch_cost(self, page: Page) -> float:
         shard = page.shard
-        disks = shard.node.disks
-        cost = page.size / disks.disks[0].read_bandwidth / disks.num_disks
+        # Price the re-read against the array's actual striping, same as
+        # the data-aware cost model.
+        cost = shard.node.disks.estimate_read_seconds(page.size)
         if shard.attributes.reading_pattern is ReadingPattern.RANDOM_READ:
             cost *= shard.attributes.random_reread_penalty
         return cost

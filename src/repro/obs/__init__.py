@@ -1,0 +1,39 @@
+"""Unified observability: structured tracing, per-set metrics, exporters.
+
+The tracer records *spans* (operations with a simulated duration, e.g. one
+striped disk read), *instants* (point events, e.g. a page pin) and
+*counters* (sampled values, e.g. pool occupancy), all timestamped off the
+owning node's :class:`~repro.sim.clock.SimClock` and paging tick counter.
+
+Tracing is **zero-cost when disabled**: every hook site is guarded by a
+single ``if tracer is not None`` check on an attribute that defaults to
+``None``; no event objects, closures, or context managers are created
+unless :meth:`~repro.cluster.cluster.PangeaCluster.enable_tracing` was
+called.
+
+The per-locality-set metrics registry (:class:`SetMetrics`) is always on —
+it is a handful of integer increments on paths that already perform
+simulated I/O — and is what ``python -m repro metrics`` and
+:func:`repro.sim.metrics.collect` report.
+"""
+
+from repro.obs.exporters import (
+    CHROME_TRACE_FIELDS,
+    JSONL_SCHEMA,
+    to_chrome,
+    to_jsonl,
+)
+from repro.obs.registry import SetMetrics, merge_set_metrics
+from repro.obs.tracer import NodeTracer, TraceEvent, Tracer
+
+__all__ = [
+    "Tracer",
+    "NodeTracer",
+    "TraceEvent",
+    "SetMetrics",
+    "merge_set_metrics",
+    "to_jsonl",
+    "to_chrome",
+    "JSONL_SCHEMA",
+    "CHROME_TRACE_FIELDS",
+]

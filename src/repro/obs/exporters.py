@@ -1,0 +1,94 @@
+"""Trace exporters: JSONL streams and Chrome trace-event JSON.
+
+The JSONL stream has one object per line, every line carrying exactly the
+keys in :data:`JSONL_SCHEMA` (stable order, suitable for ``jq``/pandas).
+The Chrome export is a ``{"traceEvents": [...]}`` document loadable by
+``chrome://tracing`` / Perfetto: simulated seconds become microseconds,
+the node id becomes the ``pid`` track and the event category the ``tid``.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.obs.tracer import Tracer
+
+#: Every JSONL line is an object with exactly these keys, in this order.
+JSONL_SCHEMA = ("ts", "tick", "ph", "cat", "name", "node", "dur", "args")
+
+#: Keys every exported Chrome trace event carries ("X" events add "dur").
+CHROME_TRACE_FIELDS = ("name", "cat", "ph", "ts", "pid", "tid", "args")
+
+
+def _open_maybe(path_or_file, mode: str = "w"):
+    if hasattr(path_or_file, "write"):
+        return path_or_file, False
+    return open(path_or_file, mode), True
+
+
+def to_jsonl(tracer: Tracer, path_or_file) -> int:
+    """Write one JSON object per event; returns the number of lines."""
+    stream, owned = _open_maybe(path_or_file)
+    try:
+        count = 0
+        for event in tracer.events:
+            record = {
+                "ts": event.ts,
+                "tick": event.tick,
+                "ph": event.ph,
+                "cat": event.cat,
+                "name": event.name,
+                "node": event.node,
+                "dur": event.dur,
+                "args": event.args,
+            }
+            stream.write(json.dumps(record, sort_keys=False) + "\n")
+            count += 1
+        return count
+    finally:
+        if owned:
+            stream.close()
+
+
+def chrome_events(tracer: Tracer) -> "list[dict]":
+    """The Chrome trace-event list (without the enclosing document)."""
+    out: list[dict] = []
+    for event in tracer.events:
+        record: dict[str, typing.Any] = {
+            "name": event.name,
+            "cat": event.cat,
+            "ph": event.ph,
+            "ts": event.ts * 1e6,  # chrome://tracing wants microseconds
+            "pid": event.node,
+            "tid": event.cat,
+            "args": dict(event.args, tick=event.tick),
+        }
+        if event.ph == "X":
+            record["dur"] = event.dur * 1e6
+        elif event.ph == "i":
+            record["s"] = "t"  # thread-scoped instant
+        out.append(record)
+    return out
+
+
+def to_chrome(tracer: Tracer, path_or_file) -> int:
+    """Write a ``chrome://tracing``-loadable JSON document; returns the
+    number of events exported."""
+    events = chrome_events(tracer)
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "simulated-seconds",
+            "emitted": tracer.emitted,
+            "dropped": tracer.dropped,
+        },
+    }
+    stream, owned = _open_maybe(path_or_file)
+    try:
+        json.dump(document, stream)
+        return len(events)
+    finally:
+        if owned:
+            stream.close()

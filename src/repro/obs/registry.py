@@ -1,0 +1,126 @@
+"""Per-locality-set metrics: the counters behind every tuning decision.
+
+Each :class:`~repro.core.locality_set.LocalShard` owns one
+:class:`SetMetrics` instance, updated inline by the page lifecycle (pin,
+page-in, evict, flush) and by the paging system when the data-aware policy
+records the cost-model inputs it chose a victim by.  These counters are
+always on — they are plain integer/float increments on paths that already
+charge simulated I/O — and reconcile exactly with the node-level
+:class:`~repro.buffer.pool.PoolStats`:
+
+* ``sum(per-set evictions)   == pool.stats.evictions``
+* ``sum(per-set flushed_*)   == pool.stats.pageouts / bytes_paged_out``
+* ``sum(per-set misses/bytes_paged_in) == pool.stats.pageins / bytes_paged_in``
+
+Shards of dropped sets are merged into the paging system's retired
+accumulator (:attr:`~repro.core.paging.PagingSystem.retired_set_metrics`)
+so the reconciliation holds across set lifetimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass
+class SetMetrics:
+    """Counters for one locality set on one node (or merged across nodes)."""
+
+    set_name: str = ""
+    #: Pin requests served (pin_page calls; page creations count separately).
+    pins: int = 0
+    #: Pins that found the page evicted and reloaded it from disk.
+    misses: int = 0
+    bytes_paged_in: int = 0
+    #: Pages newly created in this set.
+    created_pages: int = 0
+    evictions: int = 0
+    #: Evictions that actually wrote the page image out (the ``cw`` term).
+    flushed_pages: int = 0
+    flushed_bytes: int = 0
+    read_repairs: int = 0
+    #: Cost-model samples recorded when the data-aware policy picked this
+    #: set's next victim: running sums of ``cw + preuse*cr`` and ``preuse``.
+    cost_samples: int = 0
+    cost_sum: float = 0.0
+    preuse_sum: float = 0.0
+    #: Eviction strategy in force at snapshot time ("lru"/"mru").
+    strategy: str = ""
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Pins served straight from the buffer pool."""
+        return self.pins - self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of pins that needed no page-in (1.0 with no pins)."""
+        if self.pins == 0:
+            return 1.0
+        return self.hits / self.pins
+
+    @property
+    def mean_eviction_cost(self) -> float:
+        if self.cost_samples == 0:
+            return 0.0
+        return self.cost_sum / self.cost_samples
+
+    @property
+    def mean_preuse(self) -> float:
+        if self.cost_samples == 0:
+            return 0.0
+        return self.preuse_sum / self.cost_samples
+
+    # ------------------------------------------------------------------
+    # recording and merging
+    # ------------------------------------------------------------------
+
+    def note_cost_sample(self, cost: float, preuse: float) -> None:
+        self.cost_samples += 1
+        self.cost_sum += cost
+        self.preuse_sum += preuse
+
+    def merge(self, other: "SetMetrics") -> None:
+        """Accumulate ``other`` into this record (name/strategy keep ours
+        unless unset)."""
+        if not self.set_name:
+            self.set_name = other.set_name
+        if not self.strategy:
+            self.strategy = other.strategy
+        self.pins += other.pins
+        self.misses += other.misses
+        self.bytes_paged_in += other.bytes_paged_in
+        self.created_pages += other.created_pages
+        self.evictions += other.evictions
+        self.flushed_pages += other.flushed_pages
+        self.flushed_bytes += other.flushed_bytes
+        self.read_repairs += other.read_repairs
+        self.cost_samples += other.cost_samples
+        self.cost_sum += other.cost_sum
+        self.preuse_sum += other.preuse_sum
+
+    def copy(self) -> "SetMetrics":
+        return replace(self)
+
+    def reset(self) -> None:
+        name = self.set_name
+        self.__init__(set_name=name)
+
+
+def merge_set_metrics(
+    into: "dict[str, SetMetrics]", items: "list[SetMetrics] | dict[str, SetMetrics]"
+) -> "dict[str, SetMetrics]":
+    """Merge per-shard records into a by-name dictionary (copies on first
+    sight so callers never alias live counters)."""
+    values = items.values() if isinstance(items, dict) else items
+    for metrics in values:
+        existing = into.get(metrics.set_name)
+        if existing is None:
+            into[metrics.set_name] = metrics.copy()
+        else:
+            existing.merge(metrics)
+    return into

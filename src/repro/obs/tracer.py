@@ -1,0 +1,175 @@
+"""The structured event tracer.
+
+One :class:`Tracer` is shared by every node of a cluster; each node gets a
+:class:`NodeTracer` view that stamps events with the node id, the node's
+simulated clock, and its paging tick counter.  Events live in a bounded
+ring (oldest dropped first, with a drop counter) so a runaway trace cannot
+exhaust memory.
+
+Event phases follow the Chrome trace-event vocabulary so the exporter is a
+straight mapping:
+
+* ``"X"`` — a *complete span*: an operation with a simulated duration
+  (disk I/O, network transfer, eviction with flush, page-in reload);
+* ``"i"`` — an *instant*: a point event (pin, placement, victim choice);
+* ``"C"`` — a *counter sample*: named values at a point in time.
+"""
+
+from __future__ import annotations
+
+import threading
+import typing
+from collections import deque
+from dataclasses import dataclass, field
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.clock import SimClock, TickCounter
+
+#: Default event-ring capacity; ~200k events cover the smoke scenarios.
+DEFAULT_CAPACITY = 200_000
+
+VALID_PHASES = ("X", "i", "C")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record (immutable once emitted)."""
+
+    name: str
+    cat: str
+    ph: str
+    ts: float  # simulated seconds at event start
+    node: int
+    tick: int
+    dur: float = 0.0  # simulated seconds (spans only)
+    args: dict = field(default_factory=dict)
+
+
+class Tracer:
+    """A bounded, thread-safe sink of :class:`TraceEvent` records."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._events: "deque[TraceEvent]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        #: Total events ever emitted (monotonic, survives ring overflow).
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record(self, event: TraceEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+            self.emitted += 1
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        node: int,
+        ts: float,
+        dur: float,
+        tick: int = 0,
+        **args,
+    ) -> None:
+        self.record(TraceEvent(name, cat, "X", ts, node, tick, dur, args))
+
+    def instant(
+        self, name: str, cat: str, node: int, ts: float, tick: int = 0, **args
+    ) -> None:
+        self.record(TraceEvent(name, cat, "i", ts, node, tick, 0.0, args))
+
+    def counter(
+        self, name: str, cat: str, node: int, ts: float, tick: int = 0, **values
+    ) -> None:
+        self.record(TraceEvent(name, cat, "C", ts, node, tick, 0.0, values))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """A stable snapshot of the ring (oldest first)."""
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring overflow."""
+        with self._lock:
+            return self.emitted - len(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.emitted = 0
+
+    def category_counts(self) -> dict[str, int]:
+        """``{category: event count}`` over the retained ring."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.cat] = counts.get(event.cat, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tracer(events={len(self)}, emitted={self.emitted})"
+
+
+class NodeTracer:
+    """A per-node view binding a shared :class:`Tracer` to one worker.
+
+    Hook sites hold a reference to this object (or ``None`` when tracing
+    is disabled) and stamp events with the node's own simulated clock and
+    paging tick — callers never pass timestamps for instants/counters.
+    Spans pass an explicit ``start`` (the clock reading before the charged
+    operation) and the operation's simulated ``duration``.
+    """
+
+    __slots__ = ("tracer", "node_id", "_clock", "_ticks")
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        node_id: int,
+        clock: "SimClock",
+        ticks: "TickCounter | None" = None,
+    ) -> None:
+        self.tracer = tracer
+        self.node_id = node_id
+        self._clock = clock
+        self._ticks = ticks
+
+    def _tick(self) -> int:
+        return self._ticks.now if self._ticks is not None else 0
+
+    def span(self, name: str, cat: str, start: float, duration: float, **args) -> None:
+        self.tracer.span(
+            name, cat, self.node_id, start, duration, tick=self._tick(), **args
+        )
+
+    def instant(self, name: str, cat: str, **args) -> None:
+        self.tracer.instant(
+            name, cat, self.node_id, self._clock.now, tick=self._tick(), **args
+        )
+
+    def counter(self, name: str, cat: str, **values) -> None:
+        self.tracer.counter(
+            name, cat, self.node_id, self._clock.now, tick=self._tick(), **values
+        )
+
+    @property
+    def now(self) -> float:
+        """The node clock, for span start timestamps."""
+        return self._clock.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeTracer(node={self.node_id})"

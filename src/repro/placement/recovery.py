@@ -108,6 +108,16 @@ def recover_node(
         robustness.recoveries += 1
     end = cluster.barrier()
     report.seconds = end - start
+    for survivor in cluster.nodes:
+        tracer = survivor.tracer
+        if tracer is not None and not survivor.failed:
+            tracer.tracer.span(
+                "recovery.recover_node", "recovery", survivor.node_id,
+                start, report.seconds, failed_node=failed_node,
+                objects_recovered=report.objects_recovered,
+                bytes_transferred=report.bytes_transferred,
+            )
+            break
     return report
 
 

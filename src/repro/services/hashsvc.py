@@ -96,6 +96,13 @@ class HashPartitionPage:
         self.spilled = True
         self.shard.seal_page(self.page)
         self.shard.unpin_page(self.page)
+        tracer = self.shard.node.tracer
+        if tracer is not None:
+            tracer.instant("hash.spill", "service",
+                           set=self.shard.dataset.name,
+                           page_id=self.page.page_id,
+                           objects=self.page.num_objects,
+                           root_index=self.root_index, depth=self.depth)
 
 
 class _RootPartition:

@@ -90,6 +90,9 @@ class SequentialWriter:
             dataset.active_writers += 1
             dataset.attributes.note_write_service(WritingPattern.SEQUENTIAL_WRITE)
         self._attached = True
+        tracer = self.shard.node.tracer
+        if tracer is not None:
+            tracer.instant("seq.write_attach", "service", set=dataset.name)
 
     def close(self) -> None:
         """Unpin the tail page and detach the service."""
@@ -104,6 +107,9 @@ class SequentialWriter:
                     dataset.active_readers, dataset.active_writers
                 )
             self._attached = False
+            tracer = self.shard.node.tracer
+            if tracer is not None:
+                tracer.instant("seq.write_detach", "service", set=dataset.name)
 
     # ------------------------------------------------------------------
     # writing
@@ -308,10 +314,21 @@ def resolve_readable_source(
     if manager is not None and dataset.replica_group_id is not None:
         group = manager.replica_group(dataset.replica_group_id)
     robustness = getattr(cluster, "robustness", None)
-    if group is not None and all(nid in group.recovered_nodes for nid in dead):
-        # Healed: the survivors hold the dead shards' records already.
+
+    def note_failover(kind: str, target: "LocalitySet") -> None:
         if robustness is not None:
             robustness.failovers += 1
+        for node_id in sorted(target.shards):
+            tracer = target.shards[node_id].node.tracer
+            if tracer is not None:
+                tracer.instant("scan.failover", "recovery", set=dataset.name,
+                               target=target.name, kind=kind,
+                               dead_nodes=list(dead))
+                break
+
+    if group is not None and all(nid in group.recovered_nodes for nid in dead):
+        # Healed: the survivors hold the dead shards' records already.
+        note_failover("healed", dataset)
         live = [nid for nid in sorted(dataset.shards) if nid not in dead]
         return dataset, live
     if group is not None:
@@ -319,8 +336,7 @@ def resolve_readable_source(
             if member is dataset:
                 continue
             if not dead_nodes(member):
-                if robustness is not None:
-                    robustness.failovers += 1
+                note_failover("replica", member)
                 return member, sorted(member.shards)
     raise NodeFailedError(
         f"node {dead[0]} holding a shard of {dataset.name!r} has failed "
@@ -349,6 +365,10 @@ def make_page_iterators(dataset: "LocalitySet", num_threads: int = 1) -> list[Pa
         shard = source.shards[node_id]
         _check_alive(shard)
         shard.node.network.message(1)
+        tracer = shard.node.tracer
+        if tracer is not None:
+            tracer.instant("seq.scan_attach", "service", set=source.name,
+                           pages=len(shard.pages), threads=num_threads)
         pages.extend(shard.pages)
     cursor = _SharedCursor(pages, source)
     iterators = [PageIterator(cursor, num_threads) for _ in range(num_threads)]

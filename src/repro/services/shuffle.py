@@ -126,8 +126,17 @@ class VirtualShuffleBuffer:
             return
         home_node = self.allocator.shard.node
         fire_point(home_node, "mid-shuffle")
-        if self.worker_node is not None and self.worker_node is not home_node:
-            self.worker_node.network.transfer(self._small.used, num_messages=1)
+        remote = self.worker_node is not None and self.worker_node is not home_node
+        if remote:
+            self.worker_node.network.transfer(
+                self._small.used, num_messages=1, peer=home_node.network
+            )
+        tracer = home_node.tracer
+        if tracer is not None:
+            tracer.instant("shuffle.flush_small", "service",
+                           set=self.allocator.shard.dataset.name,
+                           partition=self.partition_id, worker=self.worker_id,
+                           nbytes=self._small.used, remote=remote)
         self._small.finish(self.allocator.shard)
         self._small = None
 

@@ -106,28 +106,58 @@ class DiskArray:
         #: :class:`~repro.sim.faults.TransientDiskError` (retried by the
         #: file layer) before any bytes are charged.
         self.fault_hook = None
+        #: Optional :class:`~repro.obs.tracer.NodeTracer`; installed by
+        #: :meth:`repro.cluster.node.WorkerNode.attach_tracer`.
+        self.tracer = None
 
     @property
     def num_disks(self) -> int:
         return len(self.disks)
+
+    def striped_chunks(self, nbytes: int) -> list[int]:
+        """The per-disk byte shares of one striped transfer.
+
+        Disk 0 absorbs the remainder so the chunks always sum to
+        ``nbytes``; this is the split :meth:`read`/:meth:`write` charge
+        and the cost model must price (a heterogeneous array's slowest
+        disk bounds the whole transfer).
+        """
+        share = nbytes // self.num_disks
+        remainder = nbytes - share * (self.num_disks - 1)
+        return [remainder if i == 0 else share for i in range(self.num_disks)]
+
+    def estimate_read_seconds(self, nbytes: int, num_ios: int = 1) -> float:
+        """The seconds :meth:`read` would charge — no stats, clock, or
+        faults.  Used by the paging cost model (``cr``)."""
+        ios = max(1, num_ios // self.num_disks)
+        return max(
+            ios * disk.io_latency + chunk / disk.read_bandwidth
+            for disk, chunk in zip(self.disks, self.striped_chunks(nbytes))
+        )
+
+    def estimate_write_seconds(self, nbytes: int, num_ios: int = 1) -> float:
+        """The seconds :meth:`write` would charge — no stats, clock, or
+        faults.  Used by the paging cost model (``cw``)."""
+        ios = max(1, num_ios // self.num_disks)
+        return max(
+            ios * disk.io_latency + chunk / disk.write_bandwidth
+            for disk, chunk in zip(self.disks, self.striped_chunks(nbytes))
+        )
 
     def read(self, nbytes: int, num_ios: int = 1) -> float:
         """Striped read: each disk serves an equal share in parallel."""
         extra = 0.0
         if self.fault_hook is not None:
             extra = self.fault_hook("disk.read", nbytes)
-        share = nbytes // self.num_disks
-        remainder = nbytes - share * (self.num_disks - 1)
-        costs = []
-        for i, disk in enumerate(self.disks):
-            chunk = remainder if i == 0 else share
-            costs.append(
-                max(1, num_ios // self.num_disks) * disk.io_latency
-                + chunk / disk.read_bandwidth
-            )
+        ios = max(1, num_ios // self.num_disks)
+        for disk, chunk in zip(self.disks, self.striped_chunks(nbytes)):
             disk.stats.bytes_read += chunk
-            disk.stats.num_reads += max(1, num_ios // self.num_disks)
-        cost = max(costs) + extra
+            disk.stats.num_reads += ios
+        cost = self.estimate_read_seconds(nbytes, num_ios) + extra
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.span("disk.read", "disk", tracer.now, cost,
+                        nbytes=nbytes, num_ios=num_ios)
         if self.disks[0].clock is not None:
             self.disks[0].clock.advance(cost)
         return cost
@@ -137,18 +167,15 @@ class DiskArray:
         extra = 0.0
         if self.fault_hook is not None:
             extra = self.fault_hook("disk.write", nbytes)
-        share = nbytes // self.num_disks
-        remainder = nbytes - share * (self.num_disks - 1)
-        costs = []
-        for i, disk in enumerate(self.disks):
-            chunk = remainder if i == 0 else share
-            costs.append(
-                max(1, num_ios // self.num_disks) * disk.io_latency
-                + chunk / disk.write_bandwidth
-            )
+        ios = max(1, num_ios // self.num_disks)
+        for disk, chunk in zip(self.disks, self.striped_chunks(nbytes)):
             disk.stats.bytes_written += chunk
-            disk.stats.num_writes += max(1, num_ios // self.num_disks)
-        cost = max(costs) + extra
+            disk.stats.num_writes += ios
+        cost = self.estimate_write_seconds(nbytes, num_ios) + extra
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.span("disk.write", "disk", tracer.now, cost,
+                        nbytes=nbytes, num_ios=num_ios)
         if self.disks[0].clock is not None:
             self.disks[0].clock.advance(cost)
         return cost

@@ -1,8 +1,9 @@
 """Cluster metrics collection and reporting.
 
 Gathers the per-node counters every component maintains (clock, disks,
-network, buffer pool, paging) into one snapshot — handy for examples,
-benchmarks, and debugging cost-model questions.
+network, buffer pool, paging) plus the per-locality-set registry
+(:mod:`repro.obs.registry`) into one snapshot — the foundation every
+benchmark number and tuning decision rests on.
 """
 
 from __future__ import annotations
@@ -10,6 +11,7 @@ from __future__ import annotations
 import typing
 from dataclasses import dataclass, field
 
+from repro.obs.registry import SetMetrics, merge_set_metrics
 from repro.sim.devices import MB
 from repro.sim.faults import RobustnessStats
 
@@ -37,6 +39,15 @@ class NodeMetrics:
     retries: int = 0
     corruptions_detected: int = 0
     read_repairs: int = 0
+    #: Receive-side network accounting (credited by peer-aware transfers).
+    network_bytes_received: int = 0
+    network_messages_sent: int = 0
+    network_messages_received: int = 0
+    #: Victim-selection counters from PagingSystem.stats.
+    eviction_rounds: int = 0
+    pages_evicted: int = 0
+    #: Per-locality-set registry entries on this node (live + retired).
+    sets: "dict[str, SetMetrics]" = field(default_factory=dict)
 
     @property
     def pool_utilization(self) -> float:
@@ -64,8 +75,23 @@ class ClusterMetrics:
         return sum(n.network_bytes_sent for n in self.nodes)
 
     @property
+    def total_network_bytes_received(self) -> int:
+        return sum(n.network_bytes_received for n in self.nodes)
+
+    @property
     def total_evictions(self) -> int:
         return sum(n.evictions for n in self.nodes)
+
+    @property
+    def total_eviction_rounds(self) -> int:
+        return sum(n.eviction_rounds for n in self.nodes)
+
+    def set_totals(self) -> "dict[str, SetMetrics]":
+        """Per-set counters merged across every node, keyed by set name."""
+        totals: dict[str, SetMetrics] = {}
+        for node in self.nodes:
+            merge_set_metrics(totals, node.sets)
+        return totals
 
     def skew(self) -> float:
         """Max-over-mean of per-node simulated time (1.0 = perfectly even)."""
@@ -99,6 +125,12 @@ def collect(cluster: "PangeaCluster") -> ClusterMetrics:
                 retries=node.robustness.retries,
                 corruptions_detected=node.robustness.corruptions_detected,
                 read_repairs=node.robustness.read_repairs,
+                network_bytes_received=node.network.stats.bytes_received,
+                network_messages_sent=node.network.stats.num_messages,
+                network_messages_received=node.network.stats.messages_received,
+                eviction_rounds=node.paging.stats.eviction_rounds,
+                pages_evicted=node.paging.stats.pages_evicted,
+                sets=node.paging.set_metrics(),
             )
         )
     return snapshot
@@ -114,24 +146,46 @@ def aggregate_robustness(cluster: "PangeaCluster") -> RobustnessStats:
     return total
 
 
+#: ``(header, width)`` pairs for the per-node table; every cell — header
+#: and data alike — is right-aligned into its column width, which is what
+#: the alignment regression test asserts.
+NODE_COLUMNS = (
+    ("node", 5),
+    ("seconds", 9),
+    ("pool", 13),
+    ("disk(r/w,MB)", 13),
+    ("net(tx/rx,MB)", 13),
+    ("evict", 6),
+    ("rounds", 6),
+    ("out/in", 9),
+)
+
+
+def _render_row(cells: "list[str]", widths: "list[int]") -> str:
+    return " ".join(f"{cell:>{width}}" for cell, width in zip(cells, widths))
+
+
 def format_table(metrics: ClusterMetrics) -> str:
     """Render the snapshot as a fixed-width table."""
-    lines = [
-        f"{'node':>5s} {'seconds':>9s} {'pool':>12s} {'disk r/w (MB)':>16s} "
-        f"{'net (MB)':>9s} {'evict':>6s} {'out/in':>9s}"
-    ]
+    widths = [width for _name, width in NODE_COLUMNS]
+    lines = [_render_row([name for name, _w in NODE_COLUMNS], widths)]
     for n in metrics.nodes:
-        pool = f"{n.pool_used_bytes // MB}/{n.pool_capacity_bytes // MB}MB"
-        disk = f"{n.disk_bytes_read // MB}/{n.disk_bytes_written // MB}"
-        lines.append(
-            f"{n.node_id:5d} {n.seconds:8.3f}s {pool:>12s} {disk:>16s} "
-            f"{n.network_bytes_sent // MB:8d} {n.evictions:6d} "
-            f"{n.pageouts:4d}/{n.pageins:<4d}"
-        )
+        cells = [
+            str(n.node_id),
+            f"{n.seconds:.3f}s",
+            f"{n.pool_used_bytes // MB}/{n.pool_capacity_bytes // MB}MB",
+            f"{n.disk_bytes_read // MB}/{n.disk_bytes_written // MB}",
+            f"{n.network_bytes_sent // MB}/{n.network_bytes_received // MB}",
+            str(n.evictions),
+            str(n.eviction_rounds),
+            f"{n.pageouts}/{n.pageins}",
+        ]
+        lines.append(_render_row(cells, widths))
     lines.append(
         f"total: {metrics.simulated_seconds:.3f}s simulated, "
         f"{metrics.total_disk_bytes // MB}MB disk, "
         f"{metrics.total_network_bytes // MB}MB network, "
+        f"{metrics.total_eviction_rounds} eviction rounds, "
         f"skew {metrics.skew():.2f}"
     )
     retries = sum(n.retries for n in metrics.nodes)
@@ -143,3 +197,66 @@ def format_table(metrics: ClusterMetrics) -> str:
             f"detected, {repairs} read-repairs"
         )
     return "\n".join(lines)
+
+
+#: ``(header, width)`` pairs for the per-locality-set table.
+SET_COLUMNS = (
+    ("set", 20),
+    ("strategy", 8),
+    ("pins", 8),
+    ("hit%", 7),
+    ("evict", 6),
+    ("flushed(MB)", 11),
+    ("pagein(MB)", 10),
+    ("avg-cost", 9),
+    ("avg-preuse", 10),
+)
+
+
+def format_set_table(metrics: ClusterMetrics) -> str:
+    """Render the per-locality-set registry, one row per set."""
+    widths = [width for _name, width in SET_COLUMNS]
+    lines = [_render_row([name for name, _w in SET_COLUMNS], widths)]
+    totals = metrics.set_totals()
+    for name in sorted(totals):
+        s = totals[name]
+        cells = [
+            name if len(name) <= 20 else name[:17] + "...",
+            s.strategy or "-",
+            str(s.pins),
+            f"{s.hit_ratio * 100:.1f}",
+            str(s.evictions),
+            f"{s.flushed_bytes / MB:.1f}",
+            f"{s.bytes_paged_in / MB:.1f}",
+            f"{s.mean_eviction_cost:.4f}" if s.cost_samples else "-",
+            f"{s.mean_preuse:.4f}" if s.cost_samples else "-",
+        ]
+        lines.append(_render_row(cells, widths))
+    return "\n".join(lines)
+
+
+def reconcile(metrics: ClusterMetrics) -> "list[str]":
+    """Cross-check the per-set registry against PoolStats, per node.
+
+    Returns a list of human-readable mismatch descriptions — empty when
+    the two accounting paths agree exactly (the invariant the registry
+    maintains; see :mod:`repro.obs.registry`).
+    """
+    problems: list[str] = []
+    for node in metrics.nodes:
+        sets = node.sets.values()
+        checks = (
+            ("evictions", sum(s.evictions for s in sets), node.evictions),
+            ("flushed pages", sum(s.flushed_pages for s in sets), node.pageouts),
+            ("flushed bytes", sum(s.flushed_bytes for s in sets), node.bytes_paged_out),
+            ("page-ins", sum(s.misses for s in sets), node.pageins),
+            ("paged-in bytes", sum(s.bytes_paged_in for s in sets), node.bytes_paged_in),
+            ("pages evicted (paging)", sum(s.evictions for s in sets), node.pages_evicted),
+        )
+        for label, per_set, pool in checks:
+            if per_set != pool:
+                problems.append(
+                    f"node {node.node_id}: per-set {label} {per_set} != "
+                    f"node counter {pool}"
+                )
+    return problems

@@ -13,10 +13,16 @@ from repro.sim.faults import RetryPolicy, TransientNetworkError
 class NetworkStats:
     bytes_sent: int = 0
     num_messages: int = 0
+    #: Receive-side accounting, credited by the *sender's* ``transfer``
+    #: call when it names the destination link via ``peer=``.
+    bytes_received: int = 0
+    messages_received: int = 0
 
     def reset(self) -> None:
         self.bytes_sent = 0
         self.num_messages = 0
+        self.bytes_received = 0
+        self.messages_received = 0
 
 
 class NetworkLink:
@@ -51,6 +57,9 @@ class NetworkLink:
         #: The owning node's RobustnessStats (set at injector attach time)
         #: so network retries are counted on the node that performed them.
         self.robustness = None
+        #: Optional :class:`~repro.obs.tracer.NodeTracer`; installed by
+        #: :meth:`repro.cluster.node.WorkerNode.attach_tracer`.
+        self.tracer = None
 
     def _charge(self, seconds: float) -> float:
         if self.clock is not None:
@@ -76,12 +85,22 @@ class NetworkLink:
                 # extra latency (if any) is returned to the caller.
                 self._charge(policy.backoff(attempt - 1))
 
-    def transfer(self, nbytes: int, num_messages: int = 1) -> float:
+    def transfer(
+        self,
+        nbytes: int,
+        num_messages: int = 1,
+        peer: "NetworkLink | None" = None,
+    ) -> float:
         """Charge a bulk transfer of ``nbytes`` in ``num_messages`` messages.
 
         Transfers survive injected transient drops transparently: each
         dropped attempt charges exponential backoff as simulated time and
         is retried up to the attached :class:`RetryPolicy`'s bound.
+
+        ``peer`` names the destination node's link when the caller knows
+        it; the receiver's ``bytes_received``/``messages_received``
+        counters are credited (no extra time is charged — the link cost
+        model already covers the full transfer).
         """
         if nbytes < 0:
             raise ValueError("cannot transfer a negative number of bytes")
@@ -89,12 +108,23 @@ class NetworkLink:
         num_messages = max(1, num_messages)
         self.stats.bytes_sent += nbytes
         self.stats.num_messages += num_messages
-        return self._charge(
-            num_messages * self.latency + nbytes / self.bandwidth + extra
-        )
+        if peer is not None and peer is not self:
+            peer.stats.bytes_received += nbytes
+            peer.stats.messages_received += num_messages
+        cost = num_messages * self.latency + nbytes / self.bandwidth + extra
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.span("net.transfer", "network", tracer.now, cost,
+                        nbytes=nbytes, num_messages=num_messages)
+        return self._charge(cost)
 
     def message(self, num_messages: int = 1) -> float:
         """Charge control-plane messages (page pin/unpin metadata etc.)."""
         extra = self._fire_with_retries("net.message", 0)
         self.stats.num_messages += num_messages
-        return self._charge(num_messages * self.latency + extra)
+        cost = num_messages * self.latency + extra
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.span("net.message", "network", tracer.now, cost,
+                        num_messages=num_messages)
+        return self._charge(cost)

@@ -1,0 +1,92 @@
+"""Golden-schema tests for the trace exporters (repro.obs.exporters)."""
+
+import io
+import json
+
+from repro.obs.exporters import (
+    CHROME_TRACE_FIELDS,
+    JSONL_SCHEMA,
+    chrome_events,
+    to_chrome,
+    to_jsonl,
+)
+from repro.obs.tracer import Tracer
+
+
+def sample_tracer():
+    tracer = Tracer()
+    tracer.span("disk.read", "disk", node=0, ts=1.0, dur=0.5, tick=3, nbytes=64)
+    tracer.instant("pool.pin", "buffer", node=1, ts=2.0, tick=4, page_id=7)
+    tracer.counter("pool.used_bytes", "buffer", node=0, ts=3.0, used=42,
+                   capacity=100)
+    return tracer
+
+
+class TestJsonlExport:
+    def test_every_line_matches_schema_exactly(self):
+        stream = io.StringIO()
+        count = to_jsonl(sample_tracer(), stream)
+        lines = stream.getvalue().splitlines()
+        assert count == len(lines) == 3
+        for line in lines:
+            record = json.loads(line)
+            # Exactly the documented keys, in the documented order.
+            assert tuple(record) == JSONL_SCHEMA
+
+    def test_values_round_trip(self):
+        stream = io.StringIO()
+        to_jsonl(sample_tracer(), stream)
+        first = json.loads(stream.getvalue().splitlines()[0])
+        assert first["ts"] == 1.0
+        assert first["tick"] == 3
+        assert first["ph"] == "X"
+        assert first["cat"] == "disk"
+        assert first["name"] == "disk.read"
+        assert first["node"] == 0
+        assert first["dur"] == 0.5
+        assert first["args"] == {"nbytes": 64}
+
+    def test_writes_to_path(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        count = to_jsonl(sample_tracer(), str(path))
+        assert count == 3
+        assert len(path.read_text().splitlines()) == 3
+
+
+class TestChromeExport:
+    def test_document_loads_and_has_trace_events(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = to_chrome(sample_tracer(), str(path))
+        document = json.loads(path.read_text())
+        assert count == 3
+        assert len(document["traceEvents"]) == 3
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"]["clock"] == "simulated-seconds"
+        assert document["otherData"]["emitted"] == 3
+        assert document["otherData"]["dropped"] == 0
+
+    def test_every_event_carries_required_fields(self):
+        for event in chrome_events(sample_tracer()):
+            for key in CHROME_TRACE_FIELDS:
+                assert key in event
+
+    def test_phase_mapping(self):
+        events = chrome_events(sample_tracer())
+        span, instant, counter = events
+        assert span["ph"] == "X"
+        assert span["dur"] == 0.5 * 1e6  # microseconds
+        assert span["ts"] == 1.0 * 1e6
+        assert instant["ph"] == "i"
+        assert instant["s"] == "t"
+        assert counter["ph"] == "C"
+        assert counter["args"]["used"] == 42
+
+    def test_pid_is_node_and_tid_is_category(self):
+        events = chrome_events(sample_tracer())
+        assert [e["pid"] for e in events] == [0, 1, 0]
+        assert [e["tid"] for e in events] == ["disk", "buffer", "buffer"]
+
+    def test_tick_preserved_in_args(self):
+        events = chrome_events(sample_tracer())
+        assert events[0]["args"]["tick"] == 3
+        assert events[1]["args"]["tick"] == 4

@@ -1,0 +1,156 @@
+"""Integration tests: per-set metrics reconcile with the pool counters
+across a realistic traced workload, and the CLI surfaces everything."""
+
+import json
+
+from repro import MachineProfile, PangeaCluster
+from repro.__main__ import main
+from repro.ml.kmeans import PangeaKMeans, generate_points
+from repro.obs.exporters import JSONL_SCHEMA
+from repro.obs.report import run_smoke
+from repro.services.shuffle import ShuffleService
+from repro.sim.devices import KB, MB
+from repro.sim.metrics import collect, format_set_table, reconcile
+
+
+def assert_reconciles(cluster):
+    """Per-node per-set sums must equal the PoolStats totals exactly."""
+    for node in cluster.nodes:
+        sets = node.paging.set_metrics().values()
+        assert sum(s.evictions for s in sets) == node.pool.stats.evictions
+        assert sum(s.flushed_pages for s in sets) == node.pool.stats.pageouts
+        assert sum(s.flushed_bytes for s in sets) == node.pool.stats.bytes_paged_out
+        assert sum(s.misses for s in sets) == node.pool.stats.pageins
+        assert sum(s.bytes_paged_in for s in sets) == node.pool.stats.bytes_paged_in
+    assert reconcile(collect(cluster)) == []
+
+
+class TestKmeansAndShuffleReconciliation:
+    def test_seeded_kmeans_plus_shuffle_reconciles(self):
+        cluster = PangeaCluster(
+            num_nodes=2, profile=MachineProfile.tiny(pool_bytes=16 * MB)
+        )
+        tracer = cluster.enable_tracing()
+
+        km = PangeaKMeans(cluster, k=3, dims=4, page_size=512 * KB)
+        points = generate_points(400, dims=4, num_clusters=3)
+        data = km.load_points(points, represent=1.0)
+        km.run(data, represent=1.0, iterations=2)
+
+        shuffle = ShuffleService(cluster, "sh", num_partitions=2,
+                                 page_size=512 * KB, small_page_size=64 * KB,
+                                 object_bytes=32 * KB)
+        for i in range(128):  # 4MB of shuffle data under a 4MB pool
+            worker = i % 2
+            shuffle.buffer_for(worker, i % 2,
+                               worker_node=cluster.nodes[worker]).add_object(i)
+        shuffle.finish_writing()
+
+        assert_reconciles(cluster)
+        assert len(tracer) > 0
+
+    def test_reconciliation_survives_set_drop(self):
+        """Dropped sets fold into the retired accumulator; totals still hold."""
+        cluster = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=2 * MB)
+        )
+        data = cluster.create_set("s", durability="write-back",
+                                  page_size=512 * KB, object_bytes=64 * KB)
+        data.add_data(list(range(64)))  # 4MB over a 2MB pool
+        list(data.scan_records())
+        shuffle = ShuffleService(cluster, "sh", num_partitions=1,
+                                 page_size=512 * KB, small_page_size=64 * KB,
+                                 object_bytes=32 * KB)
+        for i in range(48):
+            shuffle.buffer_for(0, 0).add_object(i)
+        shuffle.finish_writing()
+        evictions_before = cluster.nodes[0].pool.stats.evictions
+        assert evictions_before > 0
+        shuffle.drop()  # unregisters the partition shards
+        retired = cluster.nodes[0].paging.retired_set_metrics
+        assert "sh_p0" in retired
+        assert_reconciles(cluster)
+
+    def test_per_set_counters_match_activity(self):
+        cluster = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=2 * MB)
+        )
+        data = cluster.create_set("s", durability="write-back",
+                                  page_size=512 * KB, object_bytes=64 * KB)
+        data.add_data(list(range(64)))  # 4MB over a 2MB pool
+        for _ in range(2):
+            list(data.scan_records())
+        sets = cluster.nodes[0].paging.set_metrics()
+        s = sets["s"]
+        assert s.created_pages == 8
+        assert s.pins > 0
+        assert s.misses > 0  # the second scan must page data back in
+        assert 0.0 <= s.hit_ratio < 1.0
+        assert s.evictions > 0
+        assert s.strategy in ("lru", "mru")
+        # The data-aware policy recorded cost samples for its victim picks.
+        assert s.cost_samples > 0
+        assert s.mean_eviction_cost > 0.0
+        assert 0.0 <= s.mean_preuse <= 1.0
+
+    def test_reset_set_metrics(self):
+        cluster = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=2 * MB)
+        )
+        data = cluster.create_set("s", durability="write-back",
+                                  page_size=512 * KB, object_bytes=64 * KB)
+        data.add_data(list(range(64)))
+        list(data.scan_records())
+        cluster.nodes[0].reset_stats()
+        sets = cluster.nodes[0].paging.set_metrics()
+        assert sets["s"].pins == 0
+        assert sets["s"].evictions == 0
+        assert_reconciles(cluster)
+
+
+class TestSmokeReport:
+    def test_smoke_reconciles_and_traces(self):
+        report = run_smoke(nodes=2, pool_mb=4)
+        assert report.mismatches == []
+        assert report.records_scanned == 2 * 4 * 32 * 2  # two full scans
+        assert report.tracer is not None
+        assert len(report.tracer) > 0
+        totals = report.metrics.set_totals()
+        assert totals["smoke_scan"].misses > 0
+
+    def test_smoke_without_tracing(self):
+        report = run_smoke(nodes=1, pool_mb=4, trace=False)
+        assert report.tracer is None
+        assert report.mismatches == []
+
+    def test_set_table_renders_all_sets(self):
+        report = run_smoke(nodes=1, pool_mb=4, trace=False)
+        table = format_set_table(report.metrics)
+        assert "smoke_scan" in table
+        assert "smoke_sh_p0" in table
+
+
+class TestObservabilityCli:
+    def test_metrics_command_reconciles(self, capsys):
+        assert main(["metrics", "--nodes", "1", "--pool-mb", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "reconcile exactly" in out
+        assert "smoke_scan" in out
+
+    def test_trace_command_chrome(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "--nodes", "1", "--pool-mb", "4",
+                     "--out", str(out_path)]) == 0
+        document = json.loads(out_path.read_text())
+        assert document["traceEvents"]
+        printed = capsys.readouterr().out
+        assert "wrote" in printed
+
+    def test_trace_command_jsonl(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.jsonl"
+        assert main(["trace", "--nodes", "1", "--pool-mb", "4",
+                     "--format", "jsonl", "--out", str(out_path)]) == 0
+        lines = out_path.read_text().splitlines()
+        assert lines
+        for line in lines:
+            assert tuple(json.loads(line)) == JSONL_SCHEMA
