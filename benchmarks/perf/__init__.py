@@ -1,0 +1,11 @@
+"""Wall-clock performance harnesses (not part of the simulated benchmarks).
+
+Unlike ``benchmarks/test_fig*.py`` — which assert *simulated* seconds —
+these harnesses measure real elapsed time of the reproduction's hot paths
+(victim selection under paging storms, allocator throughput) and emit
+``BENCH_paging.json`` at the repo root, seeding the perf trajectory.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/perf/bench_paging.py --quick --check
+"""

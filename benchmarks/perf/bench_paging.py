@@ -1,0 +1,269 @@
+"""Wall-clock harness for the paging hot path and the pool allocators.
+
+Times Fig. 9/10-shaped paging storms with the victim-index path
+(``use_index=True``) against the legacy scan-and-sort path on the *same*
+seeded workload, asserting along the way that both made bit-identical
+eviction decisions.  Also microbenches the TLSF and slab allocators.
+
+Results land in ``BENCH_paging.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_paging.py [--quick]
+        [--out PATH] [--check]
+
+``--check`` exits non-zero when the victim-index path is slower than the
+legacy scan on any paging storm (the CI perf-smoke guard).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import MachineProfile, PangeaCluster  # noqa: E402
+from repro.buffer.slab import SlabAllocator  # noqa: E402
+from repro.buffer.tlsf import TlsfAllocator  # noqa: E402
+from repro.core.attributes import ReadingPattern, WritingPattern  # noqa: E402
+from repro.core.policies import make_policy  # noqa: E402
+from repro.sim.devices import MB  # noqa: E402
+
+PAGE = 8 * 1024  # small pages -> many resident victims per round
+
+
+def _cluster(policy):
+    cluster = PangeaCluster(
+        num_nodes=1, profile=MachineProfile.tiny(pool_bytes=4 * MB)
+    )
+    cluster.nodes[0].paging.set_policy(policy)
+    cluster.nodes[0].paging.enable_trace(capacity=1_000_000)
+    return cluster
+
+
+def storm_fig9(policy, pages, rescans, seed=909):
+    """Sequential-write spill storm plus looped rescans (Fig. 9 shape)."""
+    cluster = _cluster(policy)
+    rng = random.Random(seed)
+    spill = cluster.create_set("spill", durability="write-back", page_size=PAGE)
+    hot = cluster.create_set("hot", durability="write-back", page_size=PAGE)
+    ss, hs = spill.shards[0], hot.shards[0]
+    ss.attributes.note_write_service(WritingPattern.SEQUENTIAL_WRITE)
+    hs.attributes.note_write_service(WritingPattern.SEQUENTIAL_WRITE)
+    for i in range(pages):
+        shard = ss if i % 4 else hs
+        page = shard.new_page()
+        page.append(i, 64)
+        shard.unpin_page(page)
+    ss.attributes.note_read_service(ReadingPattern.SEQUENTIAL_READ)
+    hs.attributes.note_read_service(ReadingPattern.SEQUENTIAL_READ)
+    for _ in range(rescans):
+        for page in list(ss.pages):
+            ss.pin_page(page)
+            ss.unpin_page(page)
+        for _ in range(pages // 8):
+            page = rng.choice(hs.pages)
+            hs.pin_page(page)
+            hs.unpin_page(page)
+    return cluster
+
+
+def storm_fig10(policy, pages, accesses, seed=1010):
+    """Shuffle storm: random-read source, random-mutable sink (Fig. 10)."""
+    cluster = _cluster(policy)
+    rng = random.Random(seed)
+    source = cluster.create_set("source", durability="write-back", page_size=PAGE)
+    sink = cluster.create_set("sink", durability="write-back", page_size=PAGE)
+    ss, ks = source.shards[0], sink.shards[0]
+    ss.attributes.note_write_service(WritingPattern.SEQUENTIAL_WRITE)
+    for i in range(pages):
+        page = ss.new_page()
+        page.append(i, 64)
+        ss.unpin_page(page)
+    ss.attributes.note_read_service(ReadingPattern.RANDOM_READ)
+    ks.attributes.note_write_service(WritingPattern.RANDOM_MUTABLE_WRITE)
+    sink_pages = []
+    for i in range(accesses):
+        page = ss.pages[rng.randrange(len(ss.pages))]
+        ss.pin_page(page)
+        ss.unpin_page(page)
+        if i % 3 == 0:
+            out = ks.new_page()
+            out.append(i, 64)
+            ks.unpin_page(out)
+            sink_pages.append(out)
+        elif sink_pages:
+            out = sink_pages[rng.randrange(len(sink_pages))]
+            ks.pin_page(out)
+            out.append(i, 64)
+            ks.unpin_page(out)
+    return cluster
+
+
+def _trace(cluster):
+    return [
+        (e.set_name, e.page_id, e.was_dirty, e.flushed, e.tick)
+        for e in cluster.nodes[0].paging.trace
+    ]
+
+
+def time_storm(name, runner, policy_name, **params):
+    """Run one storm on both paths; wall-clock each and verify decisions."""
+    out = {"workload": name, "policy": policy_name, "params": params}
+    traces = {}
+    for label, use_index in (("legacy", False), ("indexed", True)):
+        policy = make_policy(policy_name, use_index=use_index)
+        start = time.perf_counter()
+        cluster = runner(policy, **params)
+        out[f"{label}_seconds"] = time.perf_counter() - start
+        traces[label] = _trace(cluster)
+        out["evictions"] = cluster.nodes[0].pool.stats.evictions
+        stats = cluster.nodes[0].paging.stats
+        out[f"{label}_eviction_rounds"] = stats.eviction_rounds
+        if use_index:
+            out["index_rebuilds"] = stats.index_rebuilds
+            out["cost_cache_hits"] = stats.cost_cache_hits
+            out["cost_cache_misses"] = stats.cost_cache_misses
+    out["identical_decisions"] = traces["legacy"] == traces["indexed"]
+    out["speedup"] = (
+        out["legacy_seconds"] / out["indexed_seconds"]
+        if out["indexed_seconds"] > 0
+        else float("inf")
+    )
+    return out
+
+
+def bench_allocator(kind, ops, seed=7):
+    """Steady-state malloc/free churn on one allocator, ops/second."""
+    rng = random.Random(seed)
+    capacity = 64 * MB
+    if kind == "tlsf":
+        alloc = TlsfAllocator(capacity)
+        malloc = alloc.malloc
+    else:
+        alloc = SlabAllocator(capacity, slab_size=1 * MB, chunk_min=4096)
+
+        def malloc(size):
+            try:
+                return alloc.alloc(size)
+            except Exception:
+                return None
+    sizes_pool = [4 * 1024, 8 * 1024, 64 * 1024, 256 * 1024]
+    live = []
+    completed = 0
+    start = time.perf_counter()
+    while completed < ops:
+        size = rng.choice(sizes_pool)
+        offset = malloc(size)
+        if offset is None or (live and rng.random() < 0.4):
+            if live:
+                victim_offset, victim_size = live.pop(rng.randrange(len(live)))
+                if kind == "tlsf":
+                    alloc.free(victim_offset)
+                else:
+                    alloc.free(victim_offset, victim_size)
+                completed += 1
+            if offset is None:
+                continue
+        live.append((offset, size))
+        completed += 1
+    elapsed = time.perf_counter() - start
+    return {
+        "allocator": kind,
+        "ops": completed,
+        "seconds": elapsed,
+        "ops_per_second": completed / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced configuration for CI smoke runs",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_paging.json"),
+        help="output JSON path (default: BENCH_paging.json at the repo root)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if the victim-index path is slower than the "
+        "legacy scan on any paging storm, or if decisions diverged",
+    )
+    args = parser.parse_args(argv)
+
+    # The 4MB pool holds 512 of the 8KB pages; page counts above that keep
+    # the pool under constant eviction pressure, which is the hot path
+    # being measured.
+    if args.quick:
+        fig9 = dict(pages=1200, rescans=1)
+        fig10 = dict(pages=800, accesses=1200)
+        alloc_ops = 20_000
+    else:
+        fig9 = dict(pages=4000, rescans=2)
+        fig10 = dict(pages=2500, accesses=4000)
+        alloc_ops = 100_000
+
+    storms = [
+        time_storm("fig9-seq-paging-storm", storm_fig9, "data-aware", **fig9),
+        time_storm("fig10-shuffle-storm", storm_fig10, "data-aware", **fig10),
+        time_storm("fig9-global-lru", storm_fig9, "lru", **fig9),
+        time_storm("fig9-global-mru", storm_fig9, "mru", **fig9),
+    ]
+    allocators = [
+        bench_allocator("tlsf", alloc_ops),
+        bench_allocator("slab", alloc_ops),
+    ]
+    report = {
+        "benchmark": "paging-hot-path",
+        "quick": args.quick,
+        "paging_storms": storms,
+        "allocators": allocators,
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    for storm in storms:
+        print(
+            f"{storm['workload']:>24} [{storm['policy']}]: "
+            f"legacy {storm['legacy_seconds']:.3f}s, "
+            f"indexed {storm['indexed_seconds']:.3f}s "
+            f"-> {storm['speedup']:.2f}x "
+            f"({'identical' if storm['identical_decisions'] else 'DIVERGED'}, "
+            f"{storm['evictions']} evictions)"
+        )
+    for entry in allocators:
+        print(
+            f"{entry['allocator']:>24} allocator: "
+            f"{entry['ops_per_second']:,.0f} ops/s"
+        )
+    print(f"wrote {out_path}")
+
+    if args.check:
+        failures = []
+        for storm in storms:
+            if not storm["identical_decisions"]:
+                failures.append(f"{storm['workload']}: decisions diverged")
+            # The speedup gate applies to the paging-storm microbench (the
+            # data-aware hot path); the global LRU/MRU storms are dominated
+            # by workload cost, not victim selection, so they only need to
+            # stay decision-identical.
+            if storm["policy"] == "data-aware" and storm["speedup"] < 1.0:
+                failures.append(
+                    f"{storm['workload']}: indexed path slower than legacy "
+                    f"({storm['speedup']:.2f}x)"
+                )
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

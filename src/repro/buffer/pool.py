@@ -213,6 +213,10 @@ class BufferPool:
                     f"page {page.page_id} must be placed in memory before pinning"
                 )
             page.pin_count += 1
+            if page.pin_count == 1 and page.shard is not None:
+                # Keep the shard's recency index's pinned count exact so
+                # evictability stays an O(1) query (see repro.core.recency).
+                page.shard.recency.note_pin(page)
             tracer = self.tracer
             if tracer is not None:
                 tracer.instant("pool.pin", "buffer", page_id=page.page_id,
@@ -223,6 +227,8 @@ class BufferPool:
             if page.pin_count <= 0:
                 raise ValueError(f"page {page.page_id} is not pinned")
             page.pin_count -= 1
+            if page.pin_count == 0 and page.shard is not None:
+                page.shard.recency.note_unpin(page)
 
     # ------------------------------------------------------------------
     # introspection

@@ -10,6 +10,8 @@ free are O(1), and freed blocks coalesce with their physical neighbours.
 
 from __future__ import annotations
 
+import functools
+
 SL_LOG2 = 4
 SL_COUNT = 1 << SL_LOG2
 ALIGNMENT = 8
@@ -38,8 +40,13 @@ def _align_up(size: int) -> int:
     return (size + ALIGNMENT - 1) & ~(ALIGNMENT - 1)
 
 
+@functools.lru_cache(maxsize=4096)
 def _mapping(size: int) -> tuple[int, int]:
-    """Map a block size to its (first-level, second-level) bucket."""
+    """Map a block size to its (first-level, second-level) bucket.
+
+    Memoized: real workloads allocate from a handful of page-size classes,
+    so the bucket math collapses to a dict hit on the malloc/free hot path.
+    """
     fl = size.bit_length() - 1
     if fl <= SL_LOG2:
         return 0, size >> (ALIGNMENT.bit_length() - 1)
@@ -47,6 +54,7 @@ def _mapping(size: int) -> tuple[int, int]:
     return fl, sl
 
 
+@functools.lru_cache(maxsize=4096)
 def _mapping_search(size: int) -> tuple[int, int]:
     """Round the request up so any block in the bucket is large enough."""
     fl = size.bit_length() - 1

@@ -15,6 +15,7 @@ import typing
 
 from repro.buffer.page import Page
 from repro.obs.registry import SetMetrics
+from repro.core.recency import RecencyIndex
 from repro.core.attributes import (
     CurrentOperation,
     DurabilityType,
@@ -55,6 +56,17 @@ class LocalShard:
         self._by_id: dict[int, Page] = {}
         #: Per-set observability counters (always on; see repro.obs.registry).
         self.metrics = SetMetrics(set_name=dataset.name)
+        #: Intrusive recency index over this shard's resident pages,
+        #: maintained by the page lifecycle below so the paging policies
+        #: never have to re-sort the page list (see repro.core.recency).
+        self.recency = RecencyIndex()
+        #: Cached data-aware cost terms for the shard's current next
+        #: victim: ``(key, (cw, vr, wr))``.  Owned by
+        #: :class:`~repro.core.policies.DataAwarePolicy`; the key encodes
+        #: everything the terms depend on (victim identity, dirty/on-disk
+        #: bits, durability, liveness, reading pattern) so a stale cache
+        #: entry is impossible by construction.
+        self.cost_terms: "tuple | None" = None
 
     # ------------------------------------------------------------------
     # convenience accessors
@@ -92,6 +104,7 @@ class LocalShard:
             page.last_access_tick = page.created_tick
             self.paging.note_access(page)
             self.pool.place(page)
+            self.recency.insert(page)
             if pin:
                 self.pool.pin(page)
             self.pages.append(page)
@@ -128,6 +141,7 @@ class LocalShard:
         """Record a page access for the recency model."""
         page.last_access_tick = self.paging.tick()
         self.attributes.access_recency = page.last_access_tick
+        self.recency.touch(page)
         self.paging.note_access(page)
 
     def pin_page(self, page: Page) -> Page:
@@ -146,6 +160,7 @@ class LocalShard:
                 except PageCorruptionError:
                     records = self._read_repair(page)
                 self.pool.place(page)
+                self.recency.insert(page)
                 page.records = records
                 page.dirty = False
                 self.pool.stats.pageins += 1
@@ -286,6 +301,7 @@ class LocalShard:
                 self.paging.note_page_image(page)
             freed = page.size
             self.pool.release(page)
+            self.recency.remove(page)
             page.records = []
             self.pool.stats.evictions += 1
             self.metrics.evictions += 1
@@ -297,6 +313,70 @@ class LocalShard:
                             flushed=must_flush, nbytes=freed)
             return EvictResult(freed=freed, flushed=must_flush)
 
+    def evict_pages(self, pages: "list[Page]") -> "list[EvictResult]":
+        """Evict several pages of this shard in one round, coalescing the
+        write-back of every dirty page into a single sequential flush.
+
+        The legacy path flushed victims one :meth:`SetFile.write_page` at a
+        time — N seeks for an N-page batch even though the batch is one
+        contiguous spill of one locality set.  Here all pages that need
+        flushing go through :meth:`SetFile.write_many
+        <repro.fs.page_file.SetFile.write_many>`, which charges one striped
+        :class:`~repro.sim.devices.DiskArray` transfer (one seek) for the
+        whole image group.  Per-page state transitions, metrics, and the
+        returned :class:`EvictResult` ground truth are identical to calling
+        :meth:`evict_page` per page; only the simulated seek count (and the
+        tracer's span shape) changes.
+        """
+        if len(pages) == 1:
+            return [self.evict_page(pages[0])]
+        with self.pool.lock:
+            for page in pages:
+                if page.pinned:
+                    raise ValueError(f"cannot evict pinned page {page.page_id}")
+                if not page.in_memory:
+                    raise ValueError(f"page {page.page_id} is not in memory")
+            alive = self.attributes.alive
+            flush = [p for p in pages if p.dirty and alive and not p.on_disk]
+            start = self.node.clock.now
+            if len(flush) > 1:
+                self.file.write_many(
+                    [(p.page_id, p.records, p.size) for p in flush]
+                )
+            elif flush:
+                self.file.write_page(flush[0].page_id, flush[0].records, flush[0].size)
+            flushed_ids = set()
+            for page in flush:
+                page.on_disk = True
+                page.dirty = False
+                self.pool.stats.pageouts += 1
+                self.pool.stats.bytes_paged_out += page.size
+                self.metrics.flushed_pages += 1
+                self.metrics.flushed_bytes += page.size
+                self.paging.note_page_image(page)
+                flushed_ids.add(page.page_id)
+            flush_seconds = self.node.clock.now - start
+            tracer = self.node.tracer
+            if tracer is not None and flush:
+                tracer.span("shard.flush_batch", "paging", start, flush_seconds,
+                            set=self.dataset.name, pages=len(flush),
+                            nbytes=sum(p.size for p in flush))
+            results: "list[EvictResult]" = []
+            for page in pages:
+                must_flush = page.page_id in flushed_ids
+                freed = page.size
+                self.pool.release(page)
+                self.recency.remove(page)
+                page.records = []
+                self.pool.stats.evictions += 1
+                self.metrics.evictions += 1
+                if tracer is not None:
+                    tracer.instant("shard.evict", "paging",
+                                   set=self.dataset.name, page_id=page.page_id,
+                                   flushed=must_flush, nbytes=freed)
+                results.append(EvictResult(freed=freed, flushed=must_flush))
+            return results
+
     def drop_page(self, page: Page) -> None:
         """Remove a page from the shard entirely (set deletion/truncation)."""
         with self.pool.lock:
@@ -304,6 +384,7 @@ class LocalShard:
                 if page.pinned:
                     raise ValueError(f"cannot drop pinned page {page.page_id}")
                 self.pool.release(page)
+                self.recency.remove(page)
             self.file.drop_page(page.page_id)
             self.pages.remove(page)
             del self._by_id[page.page_id]
@@ -321,6 +402,10 @@ class LocalShard:
     def resident_unpinned_pages(self) -> list[Page]:
         with self.pool.lock:
             return [p for p in self.pages if p.in_memory and not p.pinned]
+
+    def resident_unpinned_count(self) -> int:
+        """O(1) evictable-page count from the recency index."""
+        return self.recency.evictable_count()
 
     def resident_pages(self) -> list[Page]:
         with self.pool.lock:

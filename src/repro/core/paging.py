@@ -21,10 +21,21 @@ class PagingStats:
 
     eviction_rounds: int = 0
     pages_evicted: int = 0
+    #: Full rebuilds of the data-aware policy's candidate min-heap (the
+    #: indexed path rebuilds on tick advance / candidate-set change and
+    #: otherwise refreshes one entry per round).
+    index_rebuilds: int = 0
+    #: Cost-term cache hits/misses across all candidate evaluations
+    #: (node-level sums of the per-set counters in SetMetrics).
+    cost_cache_hits: int = 0
+    cost_cache_misses: int = 0
 
     def reset(self) -> None:
         self.eviction_rounds = 0
         self.pages_evicted = 0
+        self.index_rebuilds = 0
+        self.cost_cache_hits = 0
+        self.cost_cache_misses = 0
 
 
 @dataclass(frozen=True)
@@ -64,6 +75,10 @@ class PagingSystem:
         self.policy = policy
         self._ticks = TickCounter()
         self._shards: list[LocalShard] = []
+        #: Registered shards keyed by set name, replacing the linear
+        #: decision-attribution scan.  Maps to the *first* registered
+        #: shard with each name, matching the old scan's semantics.
+        self._by_name: "dict[str, LocalShard]" = {}
         self._lock = threading.RLock()
         self.stats = PagingStats()
         #: Bounded eviction trace; enable with enable_trace() or a
@@ -96,12 +111,20 @@ class PagingSystem:
     def register_shard(self, shard: "LocalShard") -> None:
         with self._lock:
             self._shards.append(shard)
+            self._by_name.setdefault(shard.dataset.name, shard)
 
     def unregister_shard(self, shard: "LocalShard") -> None:
         with self._lock:
             if shard in self._shards:
                 self._shards.remove(shard)
                 merge_set_metrics(self.retired_set_metrics, [shard.metrics])
+                name = shard.dataset.name
+                if self._by_name.get(name) is shard:
+                    del self._by_name[name]
+                    for other in self._shards:
+                        if other.dataset.name == name:
+                            self._by_name[name] = other
+                            break
 
     @property
     def shards(self) -> "list[LocalShard]":
@@ -163,12 +186,11 @@ class PagingSystem:
                 # behind its choice; feed it to the victim set's registry
                 # entry and (when enabled) the structured trace.
                 set_name, tick, breakdown = decision
-                for shard in self._shards:
-                    if shard.dataset.name == set_name:
-                        shard.metrics.note_cost_sample(
-                            breakdown.total, breakdown.preuse
-                        )
-                        break
+                chosen = self._by_name.get(set_name)
+                if chosen is not None:
+                    chosen.metrics.note_cost_sample(
+                        breakdown.total, breakdown.preuse
+                    )
                 if tracer is not None:
                     tracer.instant(
                         "paging.victim", "paging", set=set_name,
@@ -179,29 +201,45 @@ class PagingSystem:
                     )
             if not victims:
                 return False
-            evicted = 0
-            freed_bytes = 0
+            # Validate the batch up front (victims that became pinned or
+            # left memory between selection and eviction are skipped),
+            # capturing dirty bits before the flush clears them.
+            valid: "list[tuple]" = []
             for page in victims:
                 if page.shard is None:  # pragma: no cover - defensive
                     continue
                 if not page.in_memory or page.pinned:
                     continue
-                was_dirty = page.dirty
-                result = page.shard.evict_page(page)
-                evicted += 1
-                freed_bytes += result.freed
-                self.stats.pages_evicted += 1
-                if self.trace is not None:
-                    self.trace.append(
-                        EvictionEvent(
-                            tick=self._ticks.now,
-                            set_name=page.shard.dataset.name,
-                            page_id=page.page_id,
-                            was_dirty=was_dirty,
-                            flushed=result.flushed,
-                            policy=self.policy.name,
+                valid.append((page, page.dirty))
+            evicted = 0
+            freed_bytes = 0
+            # Evict runs of consecutive same-set victims as one batch so
+            # their dirty write-backs coalesce into a single striped
+            # DiskArray charge (LocalShard.evict_pages → SetFile.write_many)
+            # instead of one seek per page.
+            i = 0
+            while i < len(valid):
+                shard = valid[i][0].shard
+                j = i
+                while j < len(valid) and valid[j][0].shard is shard:
+                    j += 1
+                results = shard.evict_pages([p for p, _ in valid[i:j]])
+                for (page, was_dirty), result in zip(valid[i:j], results):
+                    evicted += 1
+                    freed_bytes += result.freed
+                    self.stats.pages_evicted += 1
+                    if self.trace is not None:
+                        self.trace.append(
+                            EvictionEvent(
+                                tick=self._ticks.now,
+                                set_name=shard.dataset.name,
+                                page_id=page.page_id,
+                                was_dirty=was_dirty,
+                                flushed=result.flushed,
+                                policy=self.policy.name,
+                            )
                         )
-                    )
+                i = j
             if evicted == 0:
                 return False
             self.stats.eviction_rounds += 1
@@ -210,6 +248,12 @@ class PagingSystem:
                             tracer.now - start, needed_bytes=needed_bytes,
                             evicted=evicted, freed_bytes=freed_bytes,
                             policy=self.policy.name)
+                tracer.counter(
+                    "paging.index", "paging",
+                    rebuilds=self.stats.index_rebuilds,
+                    cost_cache_hits=self.stats.cost_cache_hits,
+                    cost_cache_misses=self.stats.cost_cache_misses,
+                )
             return True
 
     def set_metrics(self) -> "dict[str, SetMetrics]":

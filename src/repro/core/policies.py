@@ -9,10 +9,31 @@ The baselines reproduce the comparison points in Figs. 3, 9 and 10:
 global LRU, global MRU, and three DBMIN variants (desired size fixed at 1
 page, fixed at 1000 pages, and adaptively estimated), plus the "tuned"
 DBMIN whose desired sizes are capped at memory so it does not block.
+
+Victim selection has two interchangeable implementations:
+
+* the **legacy scan** (``next_victim``/``victim_batch`` and the
+  ``use_index=False`` policy paths) re-derives eviction order from a full
+  walk-and-sort of every shard's page list on every round — O(P log P)
+  under paging pressure.  It is kept as the reference oracle: the golden
+  eviction-trace tests assert the indexed path reproduces its decisions
+  bit-for-bit, and the ``benchmarks/perf`` harness times one against the
+  other.
+* the **victim-index path** (``use_index=True``, the default) reads the
+  per-shard :class:`~repro.core.recency.RecencyIndex` maintained
+  incrementally by the page lifecycle, so MRU/LRU victims pop in O(1) and
+  the data-aware policy evaluates one cached cost estimate per candidate
+  *set* instead of sorting candidate *pages* — amortized O(log n) per
+  round (O(S) candidate sets, O(k log S) for global k-page batches).
+
+Both paths produce identical victim sequences because access ticks are
+unique per node: the index order is the sort order.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import math
 import typing
 from dataclasses import dataclass
@@ -61,13 +82,25 @@ def set_strategy(shard: "LocalShard") -> str:
 
 
 def next_victim(shard: "LocalShard") -> Page | None:
-    """The page the set's own strategy would evict next."""
+    """The page the set's own strategy would evict next (legacy scan).
+
+    This is the reference implementation the indexed path is tested
+    against: a full walk of the page list with a max/min scan.
+    """
     candidates = shard.resident_unpinned_pages()
     if not candidates:
         return None
     if set_strategy(shard) == "mru":
         return max(candidates, key=lambda p: p.last_access_tick)
     return min(candidates, key=lambda p: p.last_access_tick)
+
+
+def next_victim_indexed(shard: "LocalShard") -> Page | None:
+    """O(1) equivalent of :func:`next_victim` via the recency index."""
+    recency = shard.recency
+    if set_strategy(shard) == "mru":
+        return recency.peek_mru()
+    return recency.peek_lru()
 
 
 def victim_batch(shard: "LocalShard") -> list[Page]:
@@ -77,6 +110,9 @@ def victim_batch(shard: "LocalShard") -> list[Page]:
     expensive); a 10% recency-ordered batch for read-only sets; everything
     for sets whose lifetime has ended (dead data needs no flush and will
     never be re-read).
+
+    Legacy scan-and-sort implementation, kept as the oracle for the
+    indexed equivalent below.
     """
     candidates = shard.resident_unpinned_pages()
     if not candidates:
@@ -91,6 +127,28 @@ def victim_batch(shard: "LocalShard") -> list[Page]:
     reverse = set_strategy(shard) == "mru"
     ordered = sorted(candidates, key=lambda p: p.last_access_tick, reverse=reverse)
     return ordered[:count]
+
+
+def victim_batch_indexed(shard: "LocalShard") -> list[Page]:
+    """Sort-free equivalent of :func:`victim_batch`.
+
+    Write batches peek one victim in O(1); read batches take the first
+    10% of the recency index from the strategy's end (O(k)).  Dead sets
+    fall back to the page-list order the legacy path returns (the whole
+    shard is evicted anyway, so the walk is proportional to the work).
+    """
+    recency = shard.recency
+    if shard.attributes.lifetime_ended:
+        return shard.resident_unpinned_pages()
+    evictable = recency.evictable_count()
+    if evictable <= 0:
+        return []
+    op = shard.attributes.current_operation
+    if op in (CurrentOperation.WRITE, CurrentOperation.READ_AND_WRITE):
+        victim = next_victim_indexed(shard)
+        return [victim] if victim is not None else []
+    count = max(1, int(evictable * READ_BATCH_FRACTION))
+    return recency.top_evictable(count, newest_first=set_strategy(shard) == "mru")
 
 
 @dataclass(frozen=True)
@@ -113,10 +171,16 @@ class CostBreakdown:
         return self.cw + self.preuse * self.vr * self.wr
 
 
-def eviction_cost_breakdown(
-    shard: "LocalShard", page: Page, now_tick: int, horizon: float = 1.0
-) -> CostBreakdown:
-    """The full cost-model evaluation for evicting ``page``.
+def _preuse(age: int, horizon: float) -> float:
+    """Re-use probability of a page last accessed ``age`` ticks ago."""
+    if age <= 0:
+        return 1.0
+    lam = 1.0 / age
+    return 1.0 - math.exp(-lam * horizon)
+
+
+def _cost_terms(shard: "LocalShard", page: Page) -> "tuple[float, float, float]":
+    """The tick-independent cost terms ``(cw, vr, wr)`` for one victim.
 
     ``vw``/``vr`` price the page against the disk array's *actual* striped
     transfer cost (:meth:`DiskArray.estimate_write_seconds
@@ -139,13 +203,41 @@ def eviction_cost_breakdown(
         wr = shard.attributes.random_reread_penalty
     else:
         wr = 1.0
+    return cw, vr, wr
+
+
+def _cost_cache_key(shard: "LocalShard", page: Page) -> tuple:
+    """Everything ``(cw, vr, wr)`` depends on, as a comparable key.
+
+    Used by :class:`DataAwarePolicy` to validate cached terms: a change to
+    the victim identity, its dirty/on-disk bits, the set's durability,
+    liveness, or reading pattern produces a different key, so stale terms
+    are structurally impossible (the paging tick is deliberately absent —
+    only the ``preuse`` factor depends on it, and that is recomputed every
+    round).
+    """
+    attrs = shard.attributes
+    return (
+        page.page_id,
+        page.size,
+        page.dirty,
+        page.on_disk,
+        attrs.durability,
+        attrs.lifetime_ended,
+        attrs.reading_pattern,
+        attrs.random_reread_penalty,
+    )
+
+
+def eviction_cost_breakdown(
+    shard: "LocalShard", page: Page, now_tick: int, horizon: float = 1.0
+) -> CostBreakdown:
+    """The full cost-model evaluation for evicting ``page``."""
+    cw, vr, wr = _cost_terms(shard, page)
     age = now_tick - page.last_access_tick
-    if age <= 0:
-        preuse = 1.0
-    else:
-        lam = 1.0 / age
-        preuse = 1.0 - math.exp(-lam * horizon)
-    return CostBreakdown(cw=cw, vr=vr, wr=wr, preuse=preuse, age=max(0, age))
+    return CostBreakdown(
+        cw=cw, vr=vr, wr=wr, preuse=_preuse(age, horizon), age=max(0, age)
+    )
 
 
 def eviction_cost(shard: "LocalShard", page: Page, now_tick: int, horizon: float = 1.0) -> float:
@@ -168,20 +260,56 @@ class PagingPolicy:
 
 
 class DataAwarePolicy(PagingPolicy):
-    """The paper's policy: dynamic priorities over locality sets."""
+    """The paper's policy: dynamic priorities over locality sets.
+
+    With ``use_index=True`` (the default) victim selection reads the
+    per-shard recency indexes and keeps a lazily-rebuilt min-heap of
+    per-set cost estimates:
+
+    * the tick-independent terms ``(cw, vr, wr)`` of each candidate set's
+      next victim are cached on ``shard.cost_terms`` keyed by
+      :func:`_cost_cache_key`, so unchanged sets cost a tuple comparison
+      instead of two disk-model evaluations per round;
+    * the heap of ``(total, candidate_index)`` entries is rebuilt only
+      when the paging tick advances or the candidate-set signature
+      changes.  Successive rounds at the *same* tick (the buffer pool's
+      placement retry loop) refresh only the previously-chosen set's
+      entry via lazy deletion — every other set's estimate is provably
+      unchanged because nothing else was touched, evicted, or re-pinned
+      between rounds (the pool lock is held throughout).
+
+    Tie-breaking matches the legacy scan exactly: the heap orders by
+    ``(total, candidate_index)``, which is the same "first strict
+    minimum in registration order" the linear scan produced.
+    """
 
     name = "data-aware"
 
-    def __init__(self, horizon: float = 1.0) -> None:
+    def __init__(self, horizon: float = 1.0, use_index: bool = True) -> None:
         self.horizon = horizon
+        self.use_index = use_index
         #: The cost-model evaluation behind the most recent victim choice:
         #: ``(set_name, tick, CostBreakdown)``.  Read by the paging system
         #: (under its lock) to feed traces and the per-set registry.
         self.last_decision: "tuple[str, int, CostBreakdown] | None" = None
+        # Lazy-heap state (indexed path only).
+        self._heap: "list[tuple[float, int]]" = []
+        self._heap_tick = -1
+        self._heap_sig: tuple = ()
+        self._totals: "dict[int, float]" = {}
+        self._meta: "dict[int, tuple[LocalShard, CostBreakdown]]" = {}
+        self._last_idx: "int | None" = None
 
     def select_victims(
         self, shards: "list[LocalShard]", needed_bytes: int
     ) -> list[Page]:
+        if not self.use_index:
+            return self._select_victims_scan(shards)
+        return self._select_victims_indexed(shards)
+
+    # -- legacy scan (reference oracle) --------------------------------
+
+    def _select_victims_scan(self, shards: "list[LocalShard]") -> list[Page]:
         evictable = [s for s in shards if s.resident_unpinned_pages()]
         if not evictable:
             return []
@@ -205,37 +333,152 @@ class DataAwarePolicy(PagingPolicy):
         self.last_decision = (best_shard.dataset.name, now, best)
         return victim_batch(best_shard)
 
+    # -- victim-index path ---------------------------------------------
+
+    def _select_victims_indexed(self, shards: "list[LocalShard]") -> list[Page]:
+        candidates = [s for s in shards if s.recency.evictable_count() > 0]
+        if not candidates:
+            return []
+        dead = [s for s in candidates if s.attributes.lifetime_ended]
+        if dead:
+            candidates = dead
+        paging = candidates[0].paging
+        now = paging.current_tick
+        sig = tuple(map(id, candidates))
+        if now != self._heap_tick or sig != self._heap_sig:
+            self._rebuild_heap(candidates, now, paging)
+        elif self._last_idx is not None:
+            # Same tick, same candidates: only the set chosen last round
+            # changed (its victims were evicted / flushed).  Re-score it
+            # and lazily invalidate its stale heap entry.
+            idx = self._last_idx
+            self._totals.pop(idx, None)
+            self._meta.pop(idx, None)
+            self._score(candidates[idx], idx, now, paging, push=True)
+        heap = self._heap
+        totals = self._totals
+        while heap and totals.get(heap[0][1]) != heap[0][0]:
+            heapq.heappop(heap)  # lazily-deleted (refreshed) entry
+        if not heap:  # pragma: no cover - candidates guarantee an entry
+            return []
+        idx = heap[0][1]
+        shard, breakdown = self._meta[idx]
+        self._last_idx = idx
+        self.last_decision = (shard.dataset.name, now, breakdown)
+        return victim_batch_indexed(shard)
+
+    def _rebuild_heap(
+        self, candidates: "list[LocalShard]", now: int, paging
+    ) -> None:
+        self._heap = []
+        self._totals = {}
+        self._meta = {}
+        self._heap_tick = now
+        self._heap_sig = tuple(map(id, candidates))
+        self._last_idx = None
+        for idx, shard in enumerate(candidates):
+            self._score(shard, idx, now, paging, push=False)
+        heapq.heapify(self._heap)
+        paging.stats.index_rebuilds += 1
+
+    def _score(
+        self, shard: "LocalShard", idx: int, now: int, paging, push: bool
+    ) -> None:
+        """Estimate one candidate set's eviction cost into the heap."""
+        victim = next_victim_indexed(shard)
+        if victim is None:  # pragma: no cover - evictable_count() > 0
+            return
+        key = _cost_cache_key(shard, victim)
+        cached = shard.cost_terms
+        if cached is not None and cached[0] == key:
+            cw, vr, wr = cached[1]
+            shard.metrics.cost_cache_hits += 1
+            paging.stats.cost_cache_hits += 1
+        else:
+            cw, vr, wr = _cost_terms(shard, victim)
+            shard.cost_terms = (key, (cw, vr, wr))
+            shard.metrics.cost_cache_misses += 1
+            paging.stats.cost_cache_misses += 1
+        age = now - victim.last_access_tick
+        breakdown = CostBreakdown(
+            cw=cw, vr=vr, wr=wr, preuse=_preuse(age, self.horizon), age=max(0, age)
+        )
+        total = breakdown.total
+        self._totals[idx] = total
+        self._meta[idx] = (shard, breakdown)
+        if push:
+            heapq.heappush(self._heap, (total, idx))
+        else:
+            self._heap.append((total, idx))
+
 
 class GlobalLruPolicy(PagingPolicy):
-    """Least-recently-used over all unpinned pages, 10% batches."""
+    """Least-recently-used over all unpinned pages, 10% batches.
+
+    The indexed path k-way-merges the per-shard recency indexes (each
+    already sorted by access tick) instead of gathering and sorting the
+    whole resident set — O(k log S) for a k-page batch over S shards.
+    Unique ticks make the merge order identical to the legacy sort.
+    """
 
     name = "lru"
 
+    def __init__(self, use_index: bool = True) -> None:
+        self.use_index = use_index
+
     def select_victims(
         self, shards: "list[LocalShard]", needed_bytes: int
     ) -> list[Page]:
-        pages = [p for s in shards for p in s.resident_unpinned_pages()]
-        if not pages:
+        if not self.use_index:
+            pages = [p for s in shards for p in s.resident_unpinned_pages()]
+            if not pages:
+                return []
+            pages.sort(key=lambda p: p.last_access_tick)
+            count = max(1, int(len(pages) * READ_BATCH_FRACTION))
+            return pages[:count]
+        total = sum(s.recency.evictable_count() for s in shards)
+        if total <= 0:
             return []
-        pages.sort(key=lambda p: p.last_access_tick)
-        count = max(1, int(len(pages) * READ_BATCH_FRACTION))
-        return pages[:count]
+        count = max(1, int(total * READ_BATCH_FRACTION))
+        merged = heapq.merge(
+            *(s.recency.iter_evictable() for s in shards),
+            key=lambda p: p.last_access_tick,
+        )
+        return list(itertools.islice(merged, count))
 
 
 class GlobalMruPolicy(PagingPolicy):
-    """Most-recently-used over all unpinned pages, 10% batches."""
+    """Most-recently-used over all unpinned pages, 10% batches.
+
+    Indexed path: same k-way merge as :class:`GlobalLruPolicy`, walking
+    each recency index newest-first with a descending merge.
+    """
 
     name = "mru"
+
+    def __init__(self, use_index: bool = True) -> None:
+        self.use_index = use_index
 
     def select_victims(
         self, shards: "list[LocalShard]", needed_bytes: int
     ) -> list[Page]:
-        pages = [p for s in shards for p in s.resident_unpinned_pages()]
-        if not pages:
+        if not self.use_index:
+            pages = [p for s in shards for p in s.resident_unpinned_pages()]
+            if not pages:
+                return []
+            pages.sort(key=lambda p: p.last_access_tick, reverse=True)
+            count = max(1, int(len(pages) * READ_BATCH_FRACTION))
+            return pages[:count]
+        total = sum(s.recency.evictable_count() for s in shards)
+        if total <= 0:
             return []
-        pages.sort(key=lambda p: p.last_access_tick, reverse=True)
-        count = max(1, int(len(pages) * READ_BATCH_FRACTION))
-        return pages[:count]
+        count = max(1, int(total * READ_BATCH_FRACTION))
+        merged = heapq.merge(
+            *(s.recency.iter_evictable(newest_first=True) for s in shards),
+            key=lambda p: p.last_access_tick,
+            reverse=True,
+        )
+        return list(itertools.islice(merged, count))
 
 
 class DbminPolicy(PagingPolicy):
@@ -256,11 +499,17 @@ class DbminPolicy(PagingPolicy):
     surfaced here as :class:`DbminBlockedError`.
     """
 
-    def __init__(self, mode: str = "adaptive", fixed_pages: int = 1000) -> None:
+    def __init__(
+        self,
+        mode: str = "adaptive",
+        fixed_pages: int = 1000,
+        use_index: bool = True,
+    ) -> None:
         if mode not in ("one", "fixed", "adaptive", "tuned"):
             raise ValueError(f"unknown DBMIN mode {mode!r}")
         self.mode = mode
         self.fixed_pages = fixed_pages
+        self.use_index = use_index
         self.name = f"dbmin-{mode if mode != 'fixed' else fixed_pages}"
 
     def desired_pages(self, shard: "LocalShard", pool_capacity: int) -> int:
@@ -306,7 +555,10 @@ class DbminPolicy(PagingPolicy):
         # least-recently-used set overall.
         over = []
         for shard in live:
-            resident = len(shard.resident_unpinned_pages())
+            if self.use_index:
+                resident = shard.recency.evictable_count()
+            else:
+                resident = len(shard.resident_unpinned_pages())
             excess = resident - desired[id(shard)]
             if resident > 0:
                 over.append((excess, -shard.attributes.access_recency, shard))
@@ -314,7 +566,10 @@ class DbminPolicy(PagingPolicy):
             return []
         over.sort(key=lambda t: (t[0], t[1]), reverse=True)
         victim_shard = over[0][2]
-        victim = next_victim(victim_shard)
+        if self.use_index:
+            victim = next_victim_indexed(victim_shard)
+        else:
+            victim = next_victim(victim_shard)
         return [victim] if victim is not None else []
 
 
@@ -408,17 +663,17 @@ def make_policy(name: str, **kwargs) -> PagingPolicy:
     if name in ("data-aware", "dataaware", "pangea"):
         return DataAwarePolicy(**kwargs)
     if name == "lru":
-        return GlobalLruPolicy()
+        return GlobalLruPolicy(**kwargs)
     if name == "mru":
-        return GlobalMruPolicy()
+        return GlobalMruPolicy(**kwargs)
     if name == "dbmin-1":
-        return DbminPolicy(mode="one")
+        return DbminPolicy(mode="one", **kwargs)
     if name == "dbmin-1000":
-        return DbminPolicy(mode="fixed", fixed_pages=1000)
+        return DbminPolicy(mode="fixed", fixed_pages=1000, **kwargs)
     if name == "dbmin-adaptive":
-        return DbminPolicy(mode="adaptive")
+        return DbminPolicy(mode="adaptive", **kwargs)
     if name == "dbmin-tuned":
-        return DbminPolicy(mode="tuned")
+        return DbminPolicy(mode="tuned", **kwargs)
     if name == "greedy-dual":
         return GreedyDualPolicy()
     if name.startswith("lru-"):

@@ -237,6 +237,57 @@ class SetFile:
                 self.corrupt_image(page_id)
         return cost
 
+    def write_many(self, entries: "list[tuple[int, list, int]]") -> float:
+        """Persist several page images with one coalesced disk transfer.
+
+        ``entries`` is a list of ``(page_id, records, nbytes)`` triples.
+        Checksums, extent allocation, and meta-file bookkeeping are
+        identical to calling :meth:`write_page` per page; only the disk
+        charge differs — one striped sequential write covering every
+        image (one seek) via :meth:`DiskArray.write_many
+        <repro.sim.devices.DiskArray.write_many>` instead of one
+        operation per page.  Used by the batched victim-flush path.
+        """
+        if not entries:
+            return 0.0
+        if len(entries) == 1:
+            page_id, records, nbytes = entries[0]
+            return self.write_page(page_id, records, nbytes)
+        sizes = []
+        for page_id, records, nbytes in entries:
+            checksum = page_checksum(records)
+            existing = self._meta.get(page_id)
+            if existing is not None and existing.allocated_bytes >= nbytes:
+                location = replace(
+                    existing,
+                    nbytes=nbytes,
+                    checksum=checksum,
+                    extent_bytes=existing.allocated_bytes,
+                )
+            else:
+                if existing is not None:
+                    self._release_extent(existing)
+                disk_index, offset, extent = self._allocate_extent(nbytes)
+                location = PageLocation(
+                    page_id=page_id,
+                    disk_index=disk_index,
+                    offset=offset,
+                    nbytes=nbytes,
+                    checksum=checksum,
+                    extent_bytes=extent,
+                )
+            self._meta[page_id] = location
+            self._payloads[page_id] = list(records)
+            sizes.append(nbytes)
+        cost = self._with_retries(lambda: self.disks.write_many(sizes))
+        if self.owner is not None and self.owner.fault_injector is not None:
+            for page_id, _records, _nbytes in entries:
+                if self.owner.fault_injector.should_corrupt(
+                    self.set_name, self.owner, page_id
+                ):
+                    self.corrupt_image(page_id)
+        return cost
+
     def read_page(self, page_id: int) -> tuple[list, float]:
         """Load and verify one page image; returns (records, seconds).
 

@@ -39,6 +39,12 @@ class SetMetrics:
     flushed_pages: int = 0
     flushed_bytes: int = 0
     read_repairs: int = 0
+    #: Data-aware cost-term cache activity for this set: candidate
+    #: evaluations that reused the cached ``(cw, vr, wr)`` terms vs. ones
+    #: that recomputed them.  Reconciles with the node-level
+    #: ``PagingStats.cost_cache_hits/misses``.
+    cost_cache_hits: int = 0
+    cost_cache_misses: int = 0
     #: Cost-model samples recorded when the data-aware policy picked this
     #: set's next victim: running sums of ``cw + preuse*cr`` and ``preuse``.
     cost_samples: int = 0
@@ -99,6 +105,8 @@ class SetMetrics:
         self.flushed_pages += other.flushed_pages
         self.flushed_bytes += other.flushed_bytes
         self.read_repairs += other.read_repairs
+        self.cost_cache_hits += other.cost_cache_hits
+        self.cost_cache_misses += other.cost_cache_misses
         self.cost_samples += other.cost_samples
         self.cost_sum += other.cost_sum
         self.preuse_sum += other.preuse_sum

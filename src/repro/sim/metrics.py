@@ -46,6 +46,11 @@ class NodeMetrics:
     #: Victim-selection counters from PagingSystem.stats.
     eviction_rounds: int = 0
     pages_evicted: int = 0
+    #: Victim-index maintenance counters (see PagingStats): candidate-heap
+    #: rebuilds and cost-term cache activity of the data-aware policy.
+    index_rebuilds: int = 0
+    cost_cache_hits: int = 0
+    cost_cache_misses: int = 0
     #: Per-locality-set registry entries on this node (live + retired).
     sets: "dict[str, SetMetrics]" = field(default_factory=dict)
 
@@ -130,6 +135,9 @@ def collect(cluster: "PangeaCluster") -> ClusterMetrics:
                 network_messages_received=node.network.stats.messages_received,
                 eviction_rounds=node.paging.stats.eviction_rounds,
                 pages_evicted=node.paging.stats.pages_evicted,
+                index_rebuilds=node.paging.stats.index_rebuilds,
+                cost_cache_hits=node.paging.stats.cost_cache_hits,
+                cost_cache_misses=node.paging.stats.cost_cache_misses,
                 sets=node.paging.set_metrics(),
             )
         )
@@ -210,6 +218,7 @@ SET_COLUMNS = (
     ("pagein(MB)", 10),
     ("avg-cost", 9),
     ("avg-preuse", 10),
+    ("cache(h/m)", 10),
 )
 
 
@@ -230,6 +239,11 @@ def format_set_table(metrics: ClusterMetrics) -> str:
             f"{s.bytes_paged_in / MB:.1f}",
             f"{s.mean_eviction_cost:.4f}" if s.cost_samples else "-",
             f"{s.mean_preuse:.4f}" if s.cost_samples else "-",
+            (
+                f"{s.cost_cache_hits}/{s.cost_cache_misses}"
+                if s.cost_cache_hits or s.cost_cache_misses
+                else "-"
+            ),
         ]
         lines.append(_render_row(cells, widths))
     return "\n".join(lines)
@@ -252,6 +266,16 @@ def reconcile(metrics: ClusterMetrics) -> "list[str]":
             ("page-ins", sum(s.misses for s in sets), node.pageins),
             ("paged-in bytes", sum(s.bytes_paged_in for s in sets), node.bytes_paged_in),
             ("pages evicted (paging)", sum(s.evictions for s in sets), node.pages_evicted),
+            (
+                "cost-cache hits",
+                sum(s.cost_cache_hits for s in sets),
+                node.cost_cache_hits,
+            ),
+            (
+                "cost-cache misses",
+                sum(s.cost_cache_misses for s in sets),
+                node.cost_cache_misses,
+            ),
         )
         for label, per_set, pool in checks:
             if per_set != pool:

@@ -1,0 +1,508 @@
+"""Victim-index path: golden-trace equivalence against the legacy scan.
+
+The indexed hot path (``use_index=True``, the default) must make
+bit-identical eviction decisions to the legacy scan-and-sort oracle: same
+victims, same order, same dirty/flushed ground truth, same simulated
+clock.  These tests drive seeded Fig. 9- and Fig. 10-shaped workloads
+through both implementations of every strategy and compare the exact
+:class:`~repro.core.paging.EvictionEvent` traces, plus unit tests for the
+:class:`~repro.core.recency.RecencyIndex`, the cost-term cache, the
+coalesced ``write_many`` flush path, and the metrics reconciliation
+invariant for the new counters.
+"""
+
+import random
+
+import pytest
+
+from repro import MachineProfile, PangeaCluster
+from repro.core.attributes import ReadingPattern, WritingPattern
+from repro.core.policies import (
+    DataAwarePolicy,
+    _cost_cache_key,
+    make_policy,
+    next_victim,
+    next_victim_indexed,
+    victim_batch,
+    victim_batch_indexed,
+)
+from repro.sim import metrics as metrics_mod
+from repro.sim.clock import SimClock
+from repro.sim.devices import MB, DiskArray, DiskDevice
+from repro.fs.page_file import SetFile
+
+PAGE = 256 * 1024
+
+#: The five strategies the golden traces cover (the adaptive DBMIN modes
+#: raise DbminBlockedError under this much pressure, as the paper shows).
+STRATEGIES = ["data-aware", "lru", "mru", "dbmin-1", "dbmin-tuned"]
+
+
+def make_cluster(policy):
+    cluster = PangeaCluster(
+        num_nodes=1, profile=MachineProfile.tiny(pool_bytes=4 * MB)
+    )
+    cluster.nodes[0].paging.set_policy(policy)
+    cluster.nodes[0].paging.enable_trace(capacity=100_000)
+    return cluster
+
+
+def run_fig9_workload(policy, seed=901):
+    """Fig. 9 shape: sequential writers spilling, then looped rescans."""
+    cluster = make_cluster(policy)
+    rng = random.Random(seed)
+    writeback = cluster.create_set("spill", durability="write-back", page_size=PAGE)
+    through = cluster.create_set("persist", durability="write-through", page_size=PAGE)
+    ws, ts = writeback.shards[0], through.shards[0]
+    ws.attributes.note_write_service(WritingPattern.SEQUENTIAL_WRITE)
+    ts.attributes.note_write_service(WritingPattern.SEQUENTIAL_WRITE)
+    for i in range(40):
+        shard = ws if i % 3 else ts
+        page = shard.new_page()
+        page.append(f"rec-{i}", 64)
+        shard.seal_page(page)
+        shard.unpin_page(page)
+    ws.attributes.note_read_service(ReadingPattern.SEQUENTIAL_READ)
+    ts.attributes.note_read_service(ReadingPattern.SEQUENTIAL_READ)
+    for _ in range(2):  # loop-sequential rescan
+        for page in list(ws.pages):
+            ws.pin_page(page)
+            ws.unpin_page(page)
+    # A few seeded random touches to vary recency beyond pure scan order.
+    for _ in range(20):
+        page = rng.choice(ws.pages)
+        ws.pin_page(page)
+        ws.unpin_page(page)
+    return cluster
+
+
+def run_fig10_workload(policy, seed=1001):
+    """Fig. 10 shape: a shuffle — random-read input, random-write output."""
+    cluster = make_cluster(policy)
+    rng = random.Random(seed)
+    source = cluster.create_set("source", durability="write-back", page_size=PAGE)
+    sink = cluster.create_set("sink", durability="write-back", page_size=PAGE)
+    ss, ks = source.shards[0], sink.shards[0]
+    ss.attributes.note_write_service(WritingPattern.SEQUENTIAL_WRITE)
+    for i in range(24):
+        page = ss.new_page()
+        page.append(f"src-{i}", 64)
+        ss.unpin_page(page)
+    ss.attributes.note_read_service(ReadingPattern.RANDOM_READ)
+    ks.attributes.note_write_service(WritingPattern.RANDOM_MUTABLE_WRITE)
+    sink_pages = []
+    for i in range(30):
+        page = ss.pages[rng.randrange(len(ss.pages))]
+        ss.pin_page(page)
+        ss.unpin_page(page)
+        if i % 2 == 0:
+            out = ks.new_page()
+            out.append(f"out-{i}", 64)
+            ks.unpin_page(out)
+            sink_pages.append(out)
+        elif sink_pages:
+            out = sink_pages[rng.randrange(len(sink_pages))]
+            ks.pin_page(out)
+            out.append(f"mut-{i}", 64)
+            ks.unpin_page(out)
+    return cluster
+
+
+def trace_of(cluster):
+    return [
+        (e.set_name, e.page_id, e.was_dirty, e.flushed, e.tick)
+        for e in cluster.nodes[0].paging.trace
+    ]
+
+
+WORKLOADS = {"fig9": run_fig9_workload, "fig10": run_fig10_workload}
+
+
+class TestGoldenTraceEquivalence:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_indexed_path_reproduces_legacy_trace(self, workload, strategy):
+        run = WORKLOADS[workload]
+        legacy = run(make_policy(strategy, use_index=False))
+        indexed = run(make_policy(strategy, use_index=True))
+        assert trace_of(indexed) == trace_of(legacy)
+        assert len(trace_of(indexed)) > 0, "workload produced no evictions"
+        assert (
+            indexed.nodes[0].clock.now == legacy.nodes[0].clock.now
+        ), "simulated cost diverged between the paths"
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_default_policy_uses_the_index(self, strategy):
+        policy = make_policy(strategy)
+        assert policy.use_index is True
+
+    def test_lifetime_ended_sets_still_evicted_first(self):
+        for use_index in (False, True):
+            cluster = make_cluster(DataAwarePolicy(use_index=use_index))
+            dead = cluster.create_set("dead", durability="write-back", page_size=1 * MB)
+            live = cluster.create_set("live", durability="write-back", page_size=1 * MB)
+            for shard in (dead.shards[0], live.shards[0]):
+                for _ in range(2):
+                    page = shard.new_page()
+                    shard.unpin_page(page)
+            dead.end_lifetime()
+            live.shards[0].new_page()
+            trace = cluster.nodes[0].paging.trace
+            assert trace[0].set_name == "dead", f"use_index={use_index}"
+            # Dead data is dropped, never flushed.
+            assert not trace[0].flushed
+
+    def test_dead_set_golden_trace_matches(self):
+        def run(policy):
+            cluster = make_cluster(policy)
+            dead = cluster.create_set("dead", durability="write-back", page_size=PAGE)
+            live = cluster.create_set("live", durability="write-back", page_size=PAGE)
+            for i in range(10):
+                shard = dead.shards[0] if i % 2 else live.shards[0]
+                page = shard.new_page()
+                page.append("x", 32)
+                shard.unpin_page(page)
+            dead.end_lifetime()
+            for _ in range(10):
+                page = live.shards[0].new_page()
+                page.append("y", 32)
+                live.shards[0].unpin_page(page)
+            return cluster
+
+        legacy = run(DataAwarePolicy(use_index=False))
+        indexed = run(DataAwarePolicy(use_index=True))
+        assert trace_of(indexed) == trace_of(legacy)
+
+
+class TestVictimHelpersAgree:
+    def make_shard(self, cluster, name, pages=6):
+        data = cluster.create_set(name, durability="write-back", page_size=PAGE)
+        shard = data.shards[0]
+        for i in range(pages):
+            page = shard.new_page()
+            page.append(f"{name}-{i}", 16)
+            shard.unpin_page(page)
+        return shard
+
+    @pytest.fixture
+    def cluster(self):
+        return PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=16 * MB)
+        )
+
+    def test_next_victim_matches_for_both_strategies(self, cluster):
+        shard = self.make_shard(cluster, "s")
+        shard.attributes.note_write_service(WritingPattern.SEQUENTIAL_WRITE)
+        assert next_victim_indexed(shard) is next_victim(shard)
+        shard.attributes.note_read_service(ReadingPattern.RANDOM_READ)
+        assert next_victim_indexed(shard) is next_victim(shard)
+
+    def test_victim_batch_matches_after_touches(self, cluster):
+        shard = self.make_shard(cluster, "s", pages=10)
+        shard.attributes.note_read_service(ReadingPattern.SEQUENTIAL_READ)
+        rng = random.Random(7)
+        for _ in range(15):
+            page = rng.choice(shard.pages)
+            shard.pin_page(page)
+            shard.unpin_page(page)
+        assert victim_batch_indexed(shard) == victim_batch(shard)
+
+    def test_victim_batch_matches_with_pinned_pages(self, cluster):
+        shard = self.make_shard(cluster, "s", pages=8)
+        shard.attributes.note_read_service(ReadingPattern.RANDOM_READ)
+        shard.pin_page(shard.pages[0])
+        shard.pin_page(shard.pages[3])
+        assert victim_batch_indexed(shard) == victim_batch(shard)
+        assert next_victim_indexed(shard) is next_victim(shard)
+
+    def test_dead_set_batch_matches_page_list_order(self, cluster):
+        shard = self.make_shard(cluster, "s", pages=6)
+        shard.attributes.end_lifetime()
+        assert victim_batch_indexed(shard) == victim_batch(shard)
+
+
+class TestRecencyIndex:
+    @pytest.fixture
+    def shard(self):
+        cluster = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=16 * MB)
+        )
+        data = cluster.create_set("s", durability="write-back", page_size=PAGE)
+        return data.shards[0]
+
+    def test_insert_touch_remove_keep_order(self, shard):
+        pages = []
+        for i in range(5):
+            page = shard.new_page()
+            shard.unpin_page(page)
+            pages.append(page)
+        shard.recency.check_consistency(shard)
+        shard.pin_page(pages[1])
+        shard.unpin_page(pages[1])
+        shard.recency.check_consistency(shard)
+        assert shard.recency.peek_mru() is pages[1]
+        assert shard.recency.peek_lru() is pages[0]
+        shard.evict_page(pages[0])
+        shard.recency.check_consistency(shard)
+        assert shard.recency.peek_lru() is pages[2]
+
+    def test_pin_transitions_tracked_exactly(self, shard):
+        pages = []
+        for _ in range(4):
+            page = shard.new_page()
+            shard.unpin_page(page)
+            pages.append(page)
+        assert shard.recency.evictable_count() == 4
+        shard.pin_page(pages[0])
+        shard.pin_page(pages[0])  # nested pin: still one pinned page
+        assert shard.recency.evictable_count() == 3
+        shard.recency.check_consistency(shard)
+        shard.unpin_page(pages[0])
+        assert shard.recency.evictable_count() == 3
+        shard.unpin_page(pages[0])
+        assert shard.recency.evictable_count() == 4
+        shard.recency.check_consistency(shard)
+
+    def test_peeks_skip_pinned_pages(self, shard):
+        pages = []
+        for _ in range(3):
+            page = shard.new_page()
+            shard.unpin_page(page)
+            pages.append(page)
+        shard.pin_page(pages[0])
+        shard.pin_page(pages[2])
+        assert shard.recency.peek_lru() is pages[1]
+        assert shard.recency.peek_mru() is pages[1]
+
+    def test_reload_reinserts_into_index(self, shard):
+        pages = []
+        for _ in range(3):
+            page = shard.new_page()
+            page.append("x", 16)
+            shard.unpin_page(page)
+            pages.append(page)
+        shard.evict_page(pages[0])
+        assert len(shard.recency) == 2
+        shard.pin_page(pages[0])  # page-in reload
+        shard.unpin_page(pages[0])
+        assert len(shard.recency) == 3
+        shard.recency.check_consistency(shard)
+        assert shard.recency.peek_mru() is pages[0]
+
+    def test_drop_page_removes_from_index(self, shard):
+        page = shard.new_page()
+        shard.unpin_page(page)
+        shard.drop_page(page)
+        assert len(shard.recency) == 0
+
+    def test_resident_unpinned_count_matches_scan(self, shard):
+        pages = []
+        for _ in range(5):
+            page = shard.new_page()
+            shard.unpin_page(page)
+            pages.append(page)
+        shard.pin_page(pages[2])
+        assert shard.resident_unpinned_count() == len(
+            shard.resident_unpinned_pages()
+        )
+
+
+class TestCostTermCache:
+    def pressured(self):
+        cluster = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=4 * MB)
+        )
+        return cluster
+
+    def test_cache_key_changes_on_dirty_flip(self):
+        cluster = self.pressured()
+        data = cluster.create_set("s", durability="write-back", page_size=PAGE)
+        shard = data.shards[0]
+        page = shard.new_page()
+        page.append("x", 16)
+        shard.unpin_page(page)
+        dirty_key = _cost_cache_key(shard, page)
+        page.dirty = False
+        assert _cost_cache_key(shard, page) != dirty_key
+
+    def test_cache_key_changes_on_attribute_change(self):
+        cluster = self.pressured()
+        data = cluster.create_set("s", durability="write-back", page_size=PAGE)
+        shard = data.shards[0]
+        page = shard.new_page()
+        shard.unpin_page(page)
+        before = _cost_cache_key(shard, page)
+        shard.attributes.note_read_service(ReadingPattern.RANDOM_READ)
+        assert _cost_cache_key(shard, page) != before
+        mid = _cost_cache_key(shard, page)
+        shard.attributes.end_lifetime()
+        assert _cost_cache_key(shard, page) != mid
+
+    def test_cache_hits_recorded_under_pressure(self):
+        cluster = self.pressured()
+        data = cluster.create_set("a", durability="write-back", page_size=PAGE)
+        other = cluster.create_set("b", durability="write-back", page_size=PAGE)
+        for i in range(40):
+            shard = (data if i % 2 else other).shards[0]
+            page = shard.new_page()
+            page.append("x", 16)
+            shard.unpin_page(page)
+        stats = cluster.nodes[0].paging.stats
+        assert stats.index_rebuilds > 0
+        assert stats.cost_cache_misses > 0
+        # Candidate sets whose next victim did not change between rounds
+        # reuse their cached terms.
+        assert stats.cost_cache_hits > 0
+        total = stats.cost_cache_hits + stats.cost_cache_misses
+        per_set = cluster.nodes[0].paging.set_metrics()
+        assert (
+            sum(s.cost_cache_hits for s in per_set.values()) == stats.cost_cache_hits
+        )
+        assert (
+            sum(s.cost_cache_misses for s in per_set.values())
+            == stats.cost_cache_misses
+        )
+        assert total >= stats.index_rebuilds
+
+    def test_stats_reset_clears_new_counters(self):
+        cluster = self.pressured()
+        data = cluster.create_set("s", durability="write-back", page_size=PAGE)
+        shard = data.shards[0]
+        for _ in range(20):
+            page = shard.new_page()
+            page.append("x", 16)
+            shard.unpin_page(page)
+        stats = cluster.nodes[0].paging.stats
+        assert stats.index_rebuilds > 0
+        stats.reset()
+        assert stats.index_rebuilds == 0
+        assert stats.cost_cache_hits == 0
+        assert stats.cost_cache_misses == 0
+
+
+class TestWriteMany:
+    def make_array(self, num_disks=2):
+        clock = SimClock()
+        disks = [
+            DiskDevice(name=f"ssd{i}", clock=clock if i == 0 else None)
+            for i in range(num_disks)
+        ]
+        return DiskArray(disks), clock
+
+    def test_single_charge_for_batch(self):
+        array, clock = self.make_array()
+        sizes = [PAGE, PAGE, PAGE]
+        cost = array.write_many(sizes)
+        expected = array.estimate_write_seconds(sum(sizes), num_ios=1)
+        assert cost == expected
+        assert clock.now == cost
+        # One operation per disk, not one per page.
+        assert all(d.stats.num_writes == 1 for d in array.disks)
+        assert array.total_bytes_written() == sum(sizes)
+
+    def test_batch_cheaper_than_per_page_writes(self):
+        batched, _ = self.make_array()
+        separate, _ = self.make_array()
+        sizes = [PAGE] * 8
+        batch_cost = batched.write_many(sizes)
+        individual = sum(separate.write(s) for s in sizes)
+        # Same bytes, 7 fewer seeks.
+        delta = individual - batch_cost
+        lat = separate.disks[0].io_latency
+        assert delta == pytest.approx(7 * lat)
+        assert batched.total_bytes_written() == separate.total_bytes_written()
+
+    def test_set_file_write_many_matches_write_page_metadata(self):
+        array, _ = self.make_array()
+        batched = SetFile("b", array)
+        entries = [(i, [f"r{i}"], PAGE) for i in range(4)]
+        batched.write_many(entries)
+        array2, _ = self.make_array()
+        reference = SetFile("r", array2)
+        for page_id, records, nbytes in entries:
+            reference.write_page(page_id, records, nbytes)
+        for page_id, records, _nbytes in entries:
+            assert batched.location(page_id) == reference.location(page_id)
+            loaded, _cost = batched.read_page(page_id)
+            assert loaded == records
+
+    def test_set_file_write_many_single_entry_delegates(self):
+        array, _ = self.make_array()
+        file = SetFile("s", array)
+        file.write_many([(1, ["x"], PAGE)])
+        assert file.contains(1)
+        assert array.disks[0].stats.num_writes == 1
+
+    def test_empty_batch_is_free(self):
+        array, clock = self.make_array()
+        file = SetFile("s", array)
+        assert file.write_many([]) == 0.0
+        assert clock.now == 0.0
+
+    def test_negative_size_rejected(self):
+        array, _ = self.make_array()
+        with pytest.raises(ValueError):
+            array.write_many([PAGE, -1])
+
+    def test_eviction_round_coalesces_same_set_flushes(self):
+        # A data-aware read batch evicts several dirty pages of one set:
+        # the flush must land as one disk operation per drive.
+        small = 64 * 1024
+        cluster = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=4 * MB)
+        )
+        data = cluster.create_set("s", durability="write-back", page_size=small)
+        shard = data.shards[0]
+        for i in range(64):  # fills the 4MB pool exactly
+            page = shard.new_page()
+            page.append(f"r{i}", 16)
+            shard.unpin_page(page)
+        shard.attributes.note_read_service(ReadingPattern.SEQUENTIAL_READ)
+        writes_before = sum(d.stats.num_writes for d in cluster.nodes[0].disks.disks)
+        pageouts_before = cluster.nodes[0].pool.stats.pageouts
+        # Force one eviction round; a read-mode set gives a 10% batch.
+        shard.new_page()
+        flushed = cluster.nodes[0].pool.stats.pageouts - pageouts_before
+        writes = (
+            sum(d.stats.num_writes for d in cluster.nodes[0].disks.disks)
+            - writes_before
+        )
+        assert flushed > 1, "expected a multi-page flush batch"
+        per_disk_ops = writes / cluster.nodes[0].disks.num_disks
+        assert per_disk_ops < flushed, "batch was not coalesced"
+
+
+class TestReconcileInvariant:
+    def run_pressure(self):
+        cluster = PangeaCluster(
+            num_nodes=1, profile=MachineProfile.tiny(pool_bytes=4 * MB)
+        )
+        a = cluster.create_set("a", durability="write-back", page_size=PAGE)
+        b = cluster.create_set("b", durability="write-back", page_size=PAGE)
+        for i in range(30):
+            shard = (a if i % 2 else b).shards[0]
+            page = shard.new_page()
+            page.append("x", 16)
+            shard.unpin_page(page)
+        return cluster, a, b
+
+    def test_cache_counters_reconcile(self):
+        cluster, _a, _b = self.run_pressure()
+        snapshot = metrics_mod.collect(cluster)
+        assert metrics_mod.reconcile(snapshot) == []
+        node = snapshot.nodes[0]
+        assert node.cost_cache_hits + node.cost_cache_misses > 0
+
+    def test_cache_counters_reconcile_across_drop_set(self):
+        cluster, a, _b = self.run_pressure()
+        cluster.drop_set(a.name)
+        snapshot = metrics_mod.collect(cluster)
+        assert metrics_mod.reconcile(snapshot) == []
+
+    def test_set_table_shows_cache_column(self):
+        cluster, _a, _b = self.run_pressure()
+        snapshot = metrics_mod.collect(cluster)
+        table = metrics_mod.format_set_table(snapshot)
+        assert "cache(h/m)" in table
+        # At least one set shows real cache activity.
+        assert any("/" in line.split()[-1] for line in table.splitlines()[1:])
