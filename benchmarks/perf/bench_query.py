@@ -1,0 +1,219 @@
+"""Wall-clock harness for the vectorized query data plane.
+
+Runs TPC-H-shaped query storms twice on identically built clusters —
+once with the record-at-a-time oracle (``vectorized=False``) and once
+with the batched + node-parallel engine — timing the host wall clock and
+asserting along the way that both produced bit-identical result rows
+(checksummed) and bit-identical simulated per-node clocks.  The batch
+engine is purely a wall-clock optimization: any simulated-time delta is
+a bug, not a tradeoff.
+
+Results land in ``BENCH_query.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_query.py [--quick]
+        [--out PATH] [--check]
+
+``--check`` exits non-zero when the vectorized engine is slower than the
+oracle on any storm, or when checksums / simulated clocks diverge (the
+CI perf-smoke guard).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import MachineProfile, PangeaCluster  # noqa: E402
+from repro.query.operators import ScanNode  # noqa: E402
+from repro.query.scheduler import QueryScheduler  # noqa: E402
+from repro.sim.devices import GB, MB  # noqa: E402
+from repro.util import stable_hash  # noqa: E402
+
+NUM_NODES = 4
+OBJECT_BYTES = 64
+
+
+def checksum(rows) -> int:
+    """Order-insensitive 64-bit checksum over fully materialized rows."""
+    total = 0
+    for row in rows:
+        total = (total + stable_hash(tuple(sorted(row.items())))) % (1 << 64)
+    return total
+
+
+def _cluster(orders_rows, items_rows):
+    cluster = PangeaCluster(
+        num_nodes=NUM_NODES, profile=MachineProfile.tiny(pool_bytes=1 * GB)
+    )
+    orders = cluster.create_set(
+        "orders", page_size=1 * MB, object_bytes=OBJECT_BYTES
+    )
+    items = cluster.create_set("items", page_size=1 * MB, object_bytes=OBJECT_BYTES)
+    orders.add_data(
+        [{"o_id": i, "cust": i % 97, "prio": i % 5} for i in range(orders_rows)]
+    )
+    items.add_data(
+        [
+            {"i_id": i, "i_order": i % max(1, orders_rows), "qty": i % 7 + 1}
+            for i in range(items_rows)
+        ]
+    )
+    return cluster
+
+
+def plan_scan_pipeline():
+    return (
+        ScanNode("items")
+        .filter(lambda r: r["qty"] > 2)
+        .map(lambda r: {"i_id": r["i_id"], "weight": r["qty"] * 3})
+        .filter(lambda r: r["weight"] % 5 != 0)
+    )
+
+
+def plan_repartition_join():
+    return ScanNode("items").join(
+        ScanNode("orders"),
+        left_key=lambda r: r["i_order"],
+        right_key=lambda r: r["o_id"],
+        merge=lambda l, r: {**l, "cust": r["cust"], "prio": r["prio"]},
+    )
+
+
+def plan_aggregation():
+    return ScanNode("items").aggregate(
+        key_fn=lambda r: r["i_id"] % 1024,
+        seed_fn=lambda r: r["qty"],
+        merge_fn=lambda a, b: a + b,
+        final_fn=lambda k, acc: {"bucket": k, "qty": acc},
+    )
+
+
+STORMS = (
+    # (name, plan factory, scheduler kwargs, quick scale divisor)
+    ("scan-filter-pipeline", plan_scan_pipeline, {}, dict(orders=2_000, items=80_000)),
+    (
+        "repartition-join-storm",
+        plan_repartition_join,
+        {"broadcast_threshold": 0},
+        dict(orders=50_000, items=50_000),
+    ),
+    ("aggregation-storm", plan_aggregation, {}, dict(orders=1_000, items=240_000)),
+)
+
+
+def time_storm(name, plan_fn, sched_kw, rows, quick):
+    """Run one storm on both engines; wall-clock each and verify results."""
+    divisor = 8 if quick else 1
+    orders_rows = max(64, rows["orders"] // divisor)
+    items_rows = max(256, rows["items"] // divisor)
+    out = {
+        "workload": name,
+        "orders_rows": orders_rows,
+        "items_rows": items_rows,
+    }
+    clocks = {}
+    for label, vectorized in (("oracle", False), ("vectorized", True)):
+        cluster = _cluster(orders_rows, items_rows)
+        scheduler = QueryScheduler(
+            cluster, object_bytes=OBJECT_BYTES, vectorized=vectorized, **sched_kw
+        )
+        start = time.perf_counter()
+        result_rows = scheduler.execute(plan_fn())
+        out[f"{label}_seconds"] = time.perf_counter() - start
+        out[f"{label}_checksum"] = checksum(result_rows)
+        out[f"{label}_rows"] = len(result_rows)
+        clocks[label] = [node.clock.now for node in cluster.nodes]
+        if vectorized:
+            metrics = scheduler.metrics
+            out["batches_processed"] = metrics.batches_processed
+            out["mean_batch_fill"] = metrics.mean_batch_fill
+            out["stages_run"] = metrics.stages_run
+            out["parallel_stages"] = metrics.parallel_stages
+            out["mean_stage_parallelism"] = metrics.mean_stage_parallelism
+    out["simulated_seconds"] = max(clocks["oracle"])
+    out["identical_checksums"] = out["oracle_checksum"] == out["vectorized_checksum"]
+    out["identical_sim_clocks"] = clocks["oracle"] == clocks["vectorized"]
+    out["speedup"] = (
+        out["oracle_seconds"] / out["vectorized_seconds"]
+        if out["vectorized_seconds"] > 0
+        else float("inf")
+    )
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced row counts for CI smoke runs",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_query.json"),
+        help="output JSON path (default: BENCH_query.json at the repo root)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if the vectorized engine is slower than the "
+        "oracle on any storm, or if checksums / simulated clocks diverge",
+    )
+    args = parser.parse_args(argv)
+
+    storms = [
+        time_storm(name, plan_fn, sched_kw, rows, args.quick)
+        for name, plan_fn, sched_kw, rows in STORMS
+    ]
+    report = {
+        "benchmark": "query-data-plane",
+        "quick": args.quick,
+        "num_nodes": NUM_NODES,
+        "storms": storms,
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    for storm in storms:
+        status = (
+            "identical"
+            if storm["identical_checksums"] and storm["identical_sim_clocks"]
+            else "DIVERGED"
+        )
+        print(
+            f"{storm['workload']:>24}: "
+            f"oracle {storm['oracle_seconds']:.3f}s, "
+            f"vectorized {storm['vectorized_seconds']:.3f}s "
+            f"-> {storm['speedup']:.2f}x "
+            f"({status}, {storm['vectorized_rows']} rows, "
+            f"{storm['batches_processed']} batches, "
+            f"sim {storm['simulated_seconds']:.3f}s)"
+        )
+    print(f"wrote {out_path}")
+
+    if args.check:
+        failures = []
+        for storm in storms:
+            if not storm["identical_checksums"]:
+                failures.append(f"{storm['workload']}: result checksums diverged")
+            if not storm["identical_sim_clocks"]:
+                failures.append(f"{storm['workload']}: simulated clocks diverged")
+            if storm["speedup"] < 1.0:
+                failures.append(
+                    f"{storm['workload']}: vectorized engine slower than the "
+                    f"oracle ({storm['speedup']:.2f}x)"
+                )
+        if failures:
+            print("PERF CHECK FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print("perf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ concern of PACMan, which Pangea's model sidesteps entirely.
 
 from repro.compute.circular import CircularBuffer
 from repro.compute.proxy import DataProxy
+from repro.compute.stages import StageExecutor
 from repro.compute.workers import StageResult, WavesOfTasks, WorkerPool
 
 __all__ = [
@@ -19,4 +20,5 @@ __all__ = [
     "WorkerPool",
     "WavesOfTasks",
     "StageResult",
+    "StageExecutor",
 ]

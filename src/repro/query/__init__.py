@@ -19,7 +19,8 @@ from repro.query.operators import (
     PlanNode,
     ScanNode,
 )
-from repro.query.scheduler import QueryScheduler
+from repro.query.batch import BatchStepRunner, RecordBatch
+from repro.query.scheduler import QueryScheduler, SchedulerMetrics
 
 __all__ = [
     "col",
@@ -35,4 +36,7 @@ __all__ = [
     "OrderByNode",
     "LimitNode",
     "QueryScheduler",
+    "SchedulerMetrics",
+    "RecordBatch",
+    "BatchStepRunner",
 ]

@@ -1,0 +1,204 @@
+"""Batch-at-a-time kernels for the query data plane.
+
+The vectorized engine (``QueryScheduler(vectorized=True)``) processes
+records in chunks instead of one Python object at a time.  Every kernel in
+this module charges the *same* simulated costs as the record-at-a-time
+path it replaces — the same floating-point additions, in the same order,
+against the same per-node clocks — so the two engines are bit-identical
+in simulated time and differ only in wall-clock speed.  The equivalence
+arguments live next to each kernel; the golden suite
+(``tests/test_query_golden.py``) enforces them end to end.
+
+The batched kernels assume the step/key/merge functions are pure (the
+same assumption the cost model already makes): a batch applies one step
+to every record before the next step, where the record loop finished one
+record before starting the next.  Both orders yield the same output
+sequence because every step is element-wise and order-preserving.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.util import stable_hash
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.node import WorkerNode
+    from repro.query.operators import JoinNode
+
+#: Default chunk size for re-batching materialized record lists.  Any
+#: multiple of anything works — the cost kernels replay charges by
+#: cumulative record count, not per chunk — so this only tunes Python
+#: call overhead against peak list sizes.
+DEFAULT_BATCH_SIZE = 4096
+
+
+def iter_chunks(records: list, size: int = DEFAULT_BATCH_SIZE):
+    """Yield ``records`` in order as slices of at most ``size``."""
+    if size < 1:
+        raise ValueError("batch size must be positive")
+    for start in range(0, len(records), size):
+        yield records[start:start + size]
+
+
+class RecordBatch:
+    """One chunk of records with lazily cached key/hash columns.
+
+    The key column is cached per key-function identity, so repeated
+    kernel calls over the same batch (partitioning, then grouping)
+    evaluate ``key_fn`` once per record.
+    """
+
+    __slots__ = ("records", "_key_fn", "_keys", "_hashes")
+
+    def __init__(self, records: list) -> None:
+        self.records = records
+        self._key_fn = None
+        self._keys: "list | None" = None
+        self._hashes: "list[int] | None" = None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def keys(self, key_fn) -> list:
+        """The key column ``[key_fn(r) for r in records]``, cached."""
+        if self._keys is None or self._key_fn is not key_fn:
+            self._key_fn = key_fn
+            self._keys = [key_fn(record) for record in self.records]
+            self._hashes = None
+        return self._keys
+
+    def hashes(self, key_fn) -> "list[int]":
+        """The ``stable_hash`` column over :meth:`keys`, cached."""
+        keys = self.keys(key_fn)
+        if self._hashes is None:
+            self._hashes = [stable_hash(key) for key in keys]
+        return self._hashes
+
+    def partitions(self, key_fn, num_partitions: int) -> "list[int]":
+        """Destination partition per record (``hash % num_partitions``)."""
+        return [h % num_partitions for h in self.hashes(key_fn)]
+
+
+class BatchStepRunner:
+    """Vectorized filter/map/flatmap with ``run_steps``' exact charges.
+
+    ``run_steps`` charges ``per_object(1024 * max(1, len(steps)))`` every
+    time its cumulative *input* count crosses a multiple of 1024, plus one
+    remainder charge at end of stream.  This runner tracks the same
+    cumulative count across :meth:`feed` calls and issues the identical
+    sequence of charge calls, so any chunking of the same record stream
+    lands the node clock on the same reading.  (Between two block charges
+    nothing else touches the clock, so charging them at chunk boundaries
+    instead of mid-chunk visits the same final value.)
+    """
+
+    def __init__(self, node: "WorkerNode", steps: list, workers: int = 1) -> None:
+        self.node = node
+        self.steps = steps
+        self.workers = workers
+        self._units = max(1, len(steps))
+        self._count = 0
+        self._finished = False
+        #: Batch counters for SchedulerMetrics (read by the scheduler).
+        self.batches = 0
+        self.records_in = 0
+
+    def feed(self, records: list) -> list:
+        """Run one chunk through the steps; returns the surviving records.
+
+        With no steps the input list is returned as-is (callers own their
+        chunks); otherwise a fresh list is built per step.
+        """
+        if self._finished:
+            raise RuntimeError("runner already finished")
+        self.batches += 1
+        self.records_in += len(records)
+        data = records
+        for kind, fn in self.steps:
+            if not data:
+                break
+            if kind == "filter":
+                data = [record for record in data if fn(record)]
+            elif kind == "map":
+                data = [fn(record) for record in data]
+            else:  # flatmap
+                out: list = []
+                extend = out.extend
+                for record in data:
+                    extend(fn(record))
+                data = out
+        before = self._count
+        self._count += len(records)
+        cpu = self.node.cpu
+        for _ in range(self._count // 1024 - before // 1024):
+            cpu.per_object(1024 * self._units, workers=self.workers)
+        return data
+
+    def finish(self) -> None:
+        """Charge the end-of-stream remainder exactly like ``run_steps``."""
+        if self._finished:
+            return
+        self._finished = True
+        self.node.cpu.per_object(
+            (self._count % 1024) * self._units, workers=self.workers
+        )
+
+
+def build_hash_table(records, key_fn) -> dict:
+    """Pure build-side table ``{key: [records...]}`` (no cost charges)."""
+    table: dict = {}
+    get = table.get
+    for record in records:
+        key = key_fn(record)
+        bucket = get(key)
+        if bucket is None:
+            table[key] = [record]
+        else:
+            bucket.append(record)
+    return table
+
+
+def build_batch(records, key_fn, node: "WorkerNode") -> dict:
+    """Batched hash-join build: one ``per_object(n, factor=1.5)`` charge,
+    exactly the call the record-at-a-time ``_build_table`` makes."""
+    table = build_hash_table(records, key_fn)
+    node.cpu.per_object(len(records), factor=1.5)
+    return table
+
+
+def probe_batch(join: "JoinNode", left_records, table: dict, node: "WorkerNode") -> list:
+    """Batched hash-join probe with the record path's semantics and charge.
+
+    Emits matches in probe order (every strategy's output order), then
+    charges the same single ``per_object(count, factor=2.0)`` call.
+    """
+    get = table.get
+    left_key = join.left_key
+    merge = join.merge
+    how = join.how
+    if how == "inner":
+        out = [
+            merge(record, match)
+            for record in left_records
+            for match in get(left_key(record)) or ()
+        ]
+    elif how == "left_semi":
+        out = [record for record in left_records if get(left_key(record))]
+    elif how == "left_anti":
+        out = [record for record in left_records if not get(left_key(record))]
+    else:  # left_outer
+        out = []
+        extend = out.extend
+        append = out.append
+        for record in left_records:
+            matches = get(left_key(record))
+            if matches:
+                extend(merge(record, match) for match in matches)
+            else:
+                append(merge(record, None))
+    node.cpu.per_object(len(left_records), factor=2.0)
+    return out

@@ -13,6 +13,17 @@ The scheduler walks a logical plan and chooses physical strategies:
   the shuffle service.
 * **Two-stage aggregation** — a local hash-service stage per node, then a
   partial shuffle and a final stage.
+
+Two engines execute the physical stages.  The default *vectorized* engine
+(``vectorized=True``) runs batch-at-a-time kernels from
+:mod:`repro.query.batch` and executes per-node stage work concurrently on
+real threads through :class:`repro.compute.stages.StageExecutor`.  The
+record-at-a-time path is retained as the oracle: both engines produce
+bit-identical results, simulated seconds, and strategy decisions (the
+golden suite in ``tests/test_query_golden.py`` enforces this).  Under an
+enabled fault injector the scheduler always takes the record-at-a-time
+path, because fault schedules are defined by the per-record global event
+order that batching would regroup.
 """
 
 from __future__ import annotations
@@ -20,6 +31,16 @@ from __future__ import annotations
 import typing
 from dataclasses import dataclass, field
 
+from repro.compute.stages import StageExecutor
+from repro.query.batch import (
+    DEFAULT_BATCH_SIZE,
+    BatchStepRunner,
+    RecordBatch,
+    build_batch,
+    build_hash_table,
+    iter_chunks,
+    probe_batch,
+)
 from repro.query.operators import (
     AggregateNode,
     FilterNode,
@@ -51,6 +72,37 @@ class SchedulerMetrics:
     replica_substitutions: int = 0
     local_agg_stages: int = 0
     shuffled_bytes: int = 0
+    #: Vectorized-engine counters (all zero on the record-at-a-time path).
+    batches_processed: int = 0
+    batch_records: int = 0
+    stages_run: int = 0
+    stage_tasks: int = 0
+    parallel_stages: int = 0
+
+    @property
+    def mean_batch_fill(self) -> float:
+        """Average records per processed batch."""
+        if self.batches_processed == 0:
+            return 0.0
+        return self.batch_records / self.batches_processed
+
+    @property
+    def mean_stage_parallelism(self) -> float:
+        """Average per-node tasks per executed stage."""
+        if self.stages_run == 0:
+            return 0.0
+        return self.stage_tasks / self.stages_run
+
+    def decision_counters(self) -> dict:
+        """The strategy decisions both engines must agree on exactly."""
+        return {
+            "copartitioned_joins": self.copartitioned_joins,
+            "broadcast_joins": self.broadcast_joins,
+            "repartition_joins": self.repartition_joins,
+            "replica_substitutions": self.replica_substitutions,
+            "local_agg_stages": self.local_agg_stages,
+            "shuffled_bytes": self.shuffled_bytes,
+        }
 
 
 @dataclass
@@ -77,11 +129,18 @@ class QueryScheduler:
         cluster: "PangeaCluster",
         broadcast_threshold: int = 64 * MB,
         object_bytes: int = 128,
+        vectorized: bool = True,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
         self.cluster = cluster
         self.broadcast_threshold = broadcast_threshold
         self.object_bytes = object_bytes
+        self.vectorized = vectorized
+        self.batch_size = batch_size
         self.metrics = SchedulerMetrics()
+        self._executor = StageExecutor(cluster)
         self._temp_counter = 0
 
     # ------------------------------------------------------------------
@@ -97,6 +156,37 @@ class QueryScheduler:
                 self.cluster.nodes[node_id].network.transfer(nbytes)
         self.cluster.barrier()
         return result.all_records()
+
+    # ------------------------------------------------------------------
+    # engine selection and stage bookkeeping
+    # ------------------------------------------------------------------
+
+    def _use_batch(self) -> bool:
+        """Whether the vectorized kernels may run right now.
+
+        Rate-based faults draw from one shared seeded RNG whose draw
+        order is the per-record global event order, so an enabled
+        injector always routes execution through the oracle path.
+        """
+        if not self.vectorized:
+            return False
+        for node in self.cluster.nodes:
+            injector = getattr(node, "fault_injector", None)
+            if injector is not None and injector.enabled:
+                return False
+        return True
+
+    def _run_stage(self, name: str, tasks: dict) -> dict:
+        results = self._executor.run(name, tasks)
+        self.metrics.stages_run += 1
+        self.metrics.stage_tasks += len(tasks)
+        if self._executor.last_parallel:
+            self.metrics.parallel_stages += 1
+        return results
+
+    def _note_batches(self, batches: int, records: int) -> None:
+        self.metrics.batches_processed += batches
+        self.metrics.batch_records += records
 
     # ------------------------------------------------------------------
     # recursive execution
@@ -120,10 +210,31 @@ class QueryScheduler:
         if not steps:
             return stage
         out = StageResult()
-        for node_id, records in stage.per_node.items():
-            node = self.cluster.nodes[node_id]
-            out.per_node[node_id] = list(run_steps(iter(records), steps, node))
+        if self._use_batch():
+            tasks = {
+                node_id: (
+                    lambda nid=node_id, recs=records: self._steps_task(nid, recs, steps)
+                )
+                for node_id, records in stage.per_node.items()
+            }
+            results = self._run_stage("pipeline", tasks)
+            for node_id in stage.per_node:
+                records, batches, fed = results[node_id]
+                out.per_node[node_id] = records
+                self._note_batches(batches, fed)
+        else:
+            for node_id, records in stage.per_node.items():
+                node = self.cluster.nodes[node_id]
+                out.per_node[node_id] = list(run_steps(iter(records), steps, node))
         return out
+
+    def _steps_task(self, node_id: int, records: list, steps: list):
+        runner = BatchStepRunner(self.cluster.nodes[node_id], steps)
+        out: list = []
+        for chunk in iter_chunks(records, self.batch_size):
+            out.extend(runner.feed(chunk))
+        runner.finish()
+        return out, runner.batches, runner.records_in
 
     # ------------------------------------------------------------------
     # scans and replica selection
@@ -146,14 +257,39 @@ class QueryScheduler:
     ) -> StageResult:
         dataset = replica or self.cluster.get_set(scan.set_name)
         result = StageResult()
-        for node_id in sorted(dataset.shards):
-            shard = dataset.shards[node_id]
-            records = scan_shard_records(shard)
-            result.per_node[node_id] = list(
-                run_steps(records, steps, shard.node)
-            )
+        if self._use_batch():
+            tasks = {
+                node_id: (
+                    lambda shard=dataset.shards[node_id]: self._scan_task(shard, steps)
+                )
+                for node_id in sorted(dataset.shards)
+            }
+            results = self._run_stage("scan", tasks)
+            for node_id in sorted(dataset.shards):
+                records, batches, fed = results[node_id]
+                result.per_node[node_id] = records
+                self._note_batches(batches, fed)
+        else:
+            for node_id in sorted(dataset.shards):
+                shard = dataset.shards[node_id]
+                records = scan_shard_records(shard)
+                result.per_node[node_id] = list(
+                    run_steps(records, steps, shard.node)
+                )
         self.cluster.barrier()
         return result
+
+    def _scan_task(self, shard, steps: list):
+        """One node's batched scan: each pinned page is one record batch."""
+        from repro.services.sequential import make_shard_iterators
+
+        runner = BatchStepRunner(shard.node, steps)
+        out: list = []
+        for iterator in make_shard_iterators(shard, 1):
+            for page in iterator:
+                out.extend(runner.feed(list(page.records)))
+        runner.finish()
+        return out, runner.batches, runner.records_in
 
     # ------------------------------------------------------------------
     # joins
@@ -222,22 +358,40 @@ class QueryScheduler:
 
     @staticmethod
     def _build_table(records, key_fn, node) -> dict:
-        table: dict = {}
-        for record in records:
-            table.setdefault(key_fn(record), []).append(record)
+        table = build_hash_table(records, key_fn)
         node.cpu.per_object(len(records), factor=1.5)
         return table
 
+    def _join_task(self, join, left_records, right_records, node) -> list:
+        table = build_batch(right_records, join.right_key, node)
+        return probe_batch(join, left_records, table, node)
+
     def _local_join(self, join, left_stage, right_stage) -> StageResult:
         result = StageResult()
-        for node_id in sorted(left_stage.per_node):
-            node = self.cluster.nodes[node_id]
-            table = self._build_table(
-                right_stage.per_node.get(node_id, []), join.right_key, node
-            )
-            result.per_node[node_id] = self._probe(
-                join, left_stage.per_node[node_id], table, node
-            )
+        if self._use_batch():
+            tasks = {
+                node_id: (
+                    lambda nid=node_id: self._join_task(
+                        join,
+                        left_stage.per_node[nid],
+                        right_stage.per_node.get(nid, []),
+                        self.cluster.nodes[nid],
+                    )
+                )
+                for node_id in sorted(left_stage.per_node)
+            }
+            results = self._run_stage("local-join", tasks)
+            for node_id in sorted(left_stage.per_node):
+                result.per_node[node_id] = results[node_id]
+        else:
+            for node_id in sorted(left_stage.per_node):
+                node = self.cluster.nodes[node_id]
+                table = self._build_table(
+                    right_stage.per_node.get(node_id, []), join.right_key, node
+                )
+                result.per_node[node_id] = self._probe(
+                    join, left_stage.per_node[node_id], table, node
+                )
         self.cluster.barrier()
         return result
 
@@ -249,64 +403,142 @@ class QueryScheduler:
                 nbytes = len(records) * self.object_bytes * (num_nodes - 1)
                 self.cluster.nodes[node_id].network.transfer(nbytes)
         self.cluster.barrier()
+        # Every node would build the identical table from the broadcast
+        # records — build it once and share it read-only, while each node
+        # still pays the same per_object(len(all_right), 1.5) build charge.
+        table = build_hash_table(all_right, join.right_key)
         result = StageResult()
-        for node_id in sorted(left_stage.per_node):
-            node = self.cluster.nodes[node_id]
-            table = self._build_table(all_right, join.right_key, node)
-            result.per_node[node_id] = self._probe(
-                join, left_stage.per_node[node_id], table, node
-            )
+        if self._use_batch():
+            tasks = {
+                node_id: (
+                    lambda nid=node_id: self._broadcast_probe_task(
+                        join,
+                        left_stage.per_node[nid],
+                        len(all_right),
+                        table,
+                        self.cluster.nodes[nid],
+                    )
+                )
+                for node_id in sorted(left_stage.per_node)
+            }
+            results = self._run_stage("broadcast-join", tasks)
+            for node_id in sorted(left_stage.per_node):
+                result.per_node[node_id] = results[node_id]
+        else:
+            for node_id in sorted(left_stage.per_node):
+                node = self.cluster.nodes[node_id]
+                node.cpu.per_object(len(all_right), factor=1.5)
+                result.per_node[node_id] = self._probe(
+                    join, left_stage.per_node[node_id], table, node
+                )
         self.cluster.barrier()
         return result
+
+    def _broadcast_probe_task(self, join, left_records, build_count, table, node):
+        node.cpu.per_object(build_count, factor=1.5)
+        return probe_batch(join, left_records, table, node)
 
     def _repartition_join(self, join, left_stage, right_stage) -> StageResult:
         left_parts = self._shuffle(left_stage, join.left_key)
         right_parts = self._shuffle(right_stage, join.right_key)
         result = StageResult()
-        for node_id in sorted(left_parts.per_node):
-            node = self.cluster.nodes[node_id]
-            table = self._build_table(
-                right_parts.per_node.get(node_id, []), join.right_key, node
-            )
-            result.per_node[node_id] = self._probe(
-                join, left_parts.per_node.get(node_id, []), table, node
-            )
+        if self._use_batch():
+            tasks = {
+                node_id: (
+                    lambda nid=node_id: self._join_task(
+                        join,
+                        left_parts.per_node.get(nid, []),
+                        right_parts.per_node.get(nid, []),
+                        self.cluster.nodes[nid],
+                    )
+                )
+                for node_id in sorted(left_parts.per_node)
+            }
+            results = self._run_stage("repartition-join", tasks)
+            for node_id in sorted(left_parts.per_node):
+                result.per_node[node_id] = results[node_id]
+        else:
+            for node_id in sorted(left_parts.per_node):
+                node = self.cluster.nodes[node_id]
+                table = self._build_table(
+                    right_parts.per_node.get(node_id, []), join.right_key, node
+                )
+                result.per_node[node_id] = self._probe(
+                    join, left_parts.per_node.get(node_id, []), table, node
+                )
         self.cluster.barrier()
         return result
 
-    def _shuffle(self, stage: StageResult, key_fn) -> StageResult:
+    def _shuffle(
+        self, stage: StageResult, key_fn, num_partitions: int | None = None
+    ) -> StageResult:
         """Repartition a stage by key hash through the shuffle service."""
         from repro.services.shuffle import ShuffleService
 
         self._temp_counter += 1
         num_nodes = self.cluster.num_nodes
+        if num_partitions is None:
+            num_partitions = num_nodes
         service = ShuffleService(
             self.cluster,
             f"__qshuffle{self._temp_counter}",
-            num_partitions=num_nodes,
+            num_partitions=num_partitions,
             object_bytes=self.object_bytes,
         )
+        use_batch = self._use_batch()
         for node_id, records in stage.per_node.items():
             node = self.cluster.nodes[node_id]
-            for record in records:
-                partition = stable_hash(key_fn(record)) % num_nodes
-                service.buffer_for(node_id, partition, worker_node=node).add_object(
-                    record, self.object_bytes
-                )
-                self.metrics.shuffled_bytes += self.object_bytes
+            if use_batch:
+                for chunk in iter_chunks(records, self.batch_size):
+                    batch = RecordBatch(chunk)
+                    service.write_batch(
+                        node_id,
+                        chunk,
+                        batch.partitions(key_fn, num_partitions),
+                        worker_node=node,
+                        nbytes=self.object_bytes,
+                    )
+                    self._note_batches(1, len(chunk))
+                self.metrics.shuffled_bytes += len(records) * self.object_bytes
+            else:
+                for record in records:
+                    partition = stable_hash(key_fn(record)) % num_partitions
+                    service.buffer_for(node_id, partition, worker_node=node).add_object(
+                        record, self.object_bytes
+                    )
+                    self.metrics.shuffled_bytes += self.object_bytes
         service.finish_writing()
         self.cluster.barrier()
         result = StageResult()
-        for partition in range(num_nodes):
+        # Several partitions resolve to the same home node whenever
+        # num_partitions > num_nodes: group the reads per home and merge
+        # the record lists instead of overwriting per_node[home_id].
+        homes: dict[int, list] = {}
+        for partition in range(num_partitions):
             dataset = service.partition_set(partition)
-            home_id = sorted(dataset.shards)[0]
-            records: list = []
-            for node_id in sorted(dataset.shards):
-                records.extend(scan_shard_records(dataset.shards[node_id]))
-            result.per_node[home_id] = records
+            homes.setdefault(sorted(dataset.shards)[0], []).append(dataset)
+        if use_batch:
+            tasks = {
+                home_id: (lambda sets=datasets: self._shuffle_read_task(sets))
+                for home_id, datasets in homes.items()
+            }
+            results = self._run_stage("shuffle-read", tasks)
+            for home_id in sorted(homes):
+                result.per_node[home_id] = results[home_id]
+        else:
+            for home_id in sorted(homes):
+                result.per_node[home_id] = self._shuffle_read_task(homes[home_id])
         service.drop()
         self.cluster.barrier()
         return result
+
+    @staticmethod
+    def _shuffle_read_task(datasets: list) -> list:
+        records: list = []
+        for dataset in datasets:
+            for node_id in sorted(dataset.shards):
+                records.extend(scan_shard_records(dataset.shards[node_id]))
+        return records
 
     # ------------------------------------------------------------------
     # aggregation
@@ -317,34 +549,66 @@ class QueryScheduler:
 
         child = self._exec(agg.child)
         self.metrics.local_agg_stages += 1
+        # Hash pages must hold a healthy number of entries even when
+        # logical record sizes are inflated by scale-down factors.
+        agg_page_size = max(4 * MB, 64 * self.object_bytes)
         # Local stage: one hash-service buffer per node.
         partials = StageResult()
-        for node_id, records in child.per_node.items():
-            if not records:
-                continue
-            node = self.cluster.nodes[node_id]
-            self._temp_counter += 1
-            temp_name = f"__agg{self._temp_counter}_n{node_id}"
-            # Hash pages must hold a healthy number of entries even when
-            # logical record sizes are inflated by scale-down factors.
-            agg_page_size = max(4 * MB, 64 * self.object_bytes)
-            temp = self.cluster.create_set(
-                temp_name,
-                durability="write-back",
-                page_size=agg_page_size,
-                nodes=[node_id],
-                object_bytes=self.object_bytes,
-            )
-            buffer = VirtualHashBuffer(
-                temp, num_root_partitions=4, combiner=agg.merge_fn
-            )
-            for record in records:
-                key = agg.key_fn(record)
-                buffer.insert(key, agg.seed_fn(record), nbytes=self.object_bytes)
-            partials.per_node[node_id] = list(buffer.items())
-            buffer.release()
-            temp.end_lifetime()
-            self.cluster.drop_set(temp_name)
+        if self._use_batch():
+            # The manager is not thread-safe: create every per-node temp
+            # set on the driver first (same names and order as the serial
+            # path), run the local stages in parallel, drop after joining.
+            temps: dict[int, "LocalitySet"] = {}
+            for node_id, records in child.per_node.items():
+                if not records:
+                    continue
+                self._temp_counter += 1
+                temps[node_id] = self.cluster.create_set(
+                    f"__agg{self._temp_counter}_n{node_id}",
+                    durability="write-back",
+                    page_size=agg_page_size,
+                    nodes=[node_id],
+                    object_bytes=self.object_bytes,
+                )
+            tasks = {
+                node_id: (
+                    lambda nid=node_id, temp=temp: self._local_agg_task(
+                        agg, child.per_node[nid], temp
+                    )
+                )
+                for node_id, temp in temps.items()
+            }
+            results = self._run_stage("local-agg", tasks)
+            for node_id in temps:
+                pairs, batches, fed = results[node_id]
+                partials.per_node[node_id] = pairs
+                self._note_batches(batches, fed)
+            for node_id, temp in temps.items():
+                temp.end_lifetime()
+                self.cluster.drop_set(temp.name)
+        else:
+            for node_id, records in child.per_node.items():
+                if not records:
+                    continue
+                self._temp_counter += 1
+                temp_name = f"__agg{self._temp_counter}_n{node_id}"
+                temp = self.cluster.create_set(
+                    temp_name,
+                    durability="write-back",
+                    page_size=agg_page_size,
+                    nodes=[node_id],
+                    object_bytes=self.object_bytes,
+                )
+                buffer = VirtualHashBuffer(
+                    temp, num_root_partitions=4, combiner=agg.merge_fn
+                )
+                for record in records:
+                    key = agg.key_fn(record)
+                    buffer.insert(key, agg.seed_fn(record), nbytes=self.object_bytes)
+                partials.per_node[node_id] = list(buffer.items())
+                buffer.release()
+                temp.end_lifetime()
+                self.cluster.drop_set(temp_name)
         self.cluster.barrier()
 
         # Final stage: partials route to key-owner nodes and merge there.
@@ -362,22 +626,58 @@ class QueryScheduler:
                 node.network.transfer(moved)
         self.cluster.barrier()
         result = StageResult()
-        for node_id, pairs in routed.items():
-            if not pairs:
-                continue
-            node = self.cluster.nodes[node_id]
-            merged: dict = {}
-            for key, acc in pairs:
-                if key in merged:
-                    merged[key] = agg.merge_fn(merged[key], acc)
-                else:
-                    merged[key] = acc
-            node.cpu.per_object(len(pairs), factor=1.5)
-            result.per_node[node_id] = [
-                agg.final_fn(key, acc) for key, acc in merged.items()
-            ]
+        if self._use_batch():
+            tasks = {
+                node_id: (
+                    lambda nid=node_id: self._final_agg_task(
+                        agg, routed[nid], self.cluster.nodes[nid]
+                    )
+                )
+                for node_id, pairs in routed.items()
+                if pairs
+            }
+            results = self._run_stage("final-agg", tasks)
+            for node_id in routed:
+                if node_id in results:
+                    result.per_node[node_id] = results[node_id]
+        else:
+            for node_id, pairs in routed.items():
+                if not pairs:
+                    continue
+                node = self.cluster.nodes[node_id]
+                result.per_node[node_id] = self._final_agg_task(agg, pairs, node)
         self.cluster.barrier()
         return result
+
+    def _local_agg_task(self, agg, records: list, temp: "LocalitySet"):
+        from repro.services.hashsvc import VirtualHashBuffer
+
+        buffer = VirtualHashBuffer(temp, num_root_partitions=4, combiner=agg.merge_fn)
+        key_fn = agg.key_fn
+        seed_fn = agg.seed_fn
+        batches = 0
+        for chunk in iter_chunks(records, self.batch_size):
+            buffer.insert_many(
+                [key_fn(record) for record in chunk],
+                [seed_fn(record) for record in chunk],
+                nbytes=self.object_bytes,
+            )
+            batches += 1
+        pairs = list(buffer.items())
+        buffer.release()
+        return pairs, batches, len(records)
+
+    @staticmethod
+    def _final_agg_task(agg, pairs: list, node) -> list:
+        merged: dict = {}
+        merge_fn = agg.merge_fn
+        for key, acc in pairs:
+            if key in merged:
+                merged[key] = merge_fn(merged[key], acc)
+            else:
+                merged[key] = acc
+        node.cpu.per_object(len(pairs), factor=1.5)
+        return [agg.final_fn(key, acc) for key, acc in merged.items()]
 
     # ------------------------------------------------------------------
     # ordering and limits (driver-side)
@@ -405,4 +705,13 @@ class QueryScheduler:
     def _exec_limit(self, node: LimitNode) -> StageResult:
         child = self._exec(node.child)
         records = child.all_records()[: node.count]
+        # Every child record moves to the driver before the cutoff is
+        # applied; charge the same per-node transfers _exec_orderby pays
+        # for the identical movement.
+        for node_id, recs in child.per_node.items():
+            if node_id != 0 and recs:
+                self.cluster.nodes[node_id].network.transfer(
+                    len(recs) * self.object_bytes
+                )
+        self.cluster.barrier()
         return StageResult(per_node={0: records})

@@ -216,6 +216,8 @@ class VirtualHashBuffer:
             for i in range(num_root_partitions)
         ]
         self._finalized = False
+        #: key -> (root, sub_hash) memo for :meth:`insert_many`.
+        self._route_cache: dict = {}
 
     # ------------------------------------------------------------------
     # routing
@@ -244,6 +246,75 @@ class VirtualHashBuffer:
     def set(self, key: object, value: object, nbytes: int | None = None) -> None:
         """Overwrite the value for an existing or new key."""
         self._put(key, value, nbytes, combine=False)
+
+    def insert_many(
+        self, keys: list, values: list, nbytes: int | None = None
+    ) -> None:
+        """Batched :meth:`insert` over aligned key/value columns.
+
+        Bit-identical in simulated time to inserting one pair at a time:
+        the per-record ``per_object(1, factor=1.5)`` increments accumulate
+        on a local float committed with ``advance_to``, the combine fast
+        path touches only the in-page dict, and any slow insert (slab
+        reserve, split, spill) first syncs the clock and then runs the
+        exact per-record code so page allocation and eviction land on the
+        same clock readings.  Requires an explicit uniform ``nbytes`` and
+        a single-node buffer; anything else falls back to the loop.
+        """
+        if self._finalized:
+            raise RuntimeError("hash buffer already finalized")
+        nodes = {id(root.shard.node) for root in self.roots}
+        if nbytes is None or len(nodes) > 1:
+            for key, value in zip(keys, values):
+                self._put(key, value, nbytes, combine=True)
+            return
+        node = self.roots[0].shard.node
+        cpu = node.cpu
+        clock = cpu.clock
+        # Exactly what per_object(1, factor=1.5) advances with workers=1.
+        per_put = cpu.per_object_overhead * 1.5
+        entry_bytes = nbytes + ENTRY_OVERHEAD
+        roots = self.roots
+        num_roots = self.num_roots
+        combiner = self.combiner
+        combines = 0
+        # Routing is a pure function of the key (splits only deepen the
+        # per-root directory, consulted below), so cache it across calls;
+        # aggregation keys repeat heavily and stable_hash is pure Python.
+        route = self._route_cache
+        x = clock.now
+        for key, value in zip(keys, values):
+            cached = route.get(key)
+            if cached is None:
+                h = stable_hash(key)
+                cached = route[key] = (roots[h % num_roots], h // num_roots)
+            root, sub = cached
+            x += per_put
+            part = root.directory[sub & ((1 << root.local_depth) - 1)]
+            existing = part.table.get(key)
+            if existing is not None:
+                new_value = (
+                    combiner(existing[0], value) if combiner is not None else value
+                )
+                part.table[key] = (new_value, existing[1], existing[2])
+                combines += 1
+                continue
+            # Slow path: sync the clock, then the per-record insert code.
+            clock.advance_to(x)
+            attempts = 0
+            while True:
+                offset = part.try_reserve(entry_bytes)
+                if offset is not None:
+                    part.table[key] = (value, sub, entry_bytes)
+                    part.sync_page_accounting()
+                    cpu.memcpy(entry_bytes)
+                    self.stats.inserts += 1
+                    break
+                part = self._grow(root, part, sub, attempts)
+                attempts += 1
+            x = clock.now
+        clock.advance_to(x)
+        self.stats.combines += combines
 
     def _put(self, key: object, value: object, nbytes: int | None, combine: bool) -> None:
         if self._finalized:

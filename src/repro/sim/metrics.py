@@ -249,6 +249,44 @@ def format_set_table(metrics: ClusterMetrics) -> str:
     return "\n".join(lines)
 
 
+#: ``(header, width)`` pairs for the query-scheduler summary table.
+SCHEDULER_COLUMNS = (
+    ("joins(c/b/r)", 12),
+    ("repl-subs", 9),
+    ("agg", 5),
+    ("shuffle(MB)", 11),
+    ("batches", 8),
+    ("fill", 7),
+    ("stages(par)", 11),
+    ("par", 5),
+)
+
+
+def format_scheduler_table(metrics) -> str:
+    """Render one :class:`~repro.query.scheduler.SchedulerMetrics` snapshot.
+
+    Strategy decisions on the left, vectorized-engine counters (batches
+    processed, mean batch fill, stage counts with how many ran node-parallel,
+    mean per-stage parallelism) on the right; the batch columns read zero
+    for a record-at-a-time run.
+    """
+    widths = [width for _name, width in SCHEDULER_COLUMNS]
+    lines = [_render_row([name for name, _w in SCHEDULER_COLUMNS], widths)]
+    cells = [
+        f"{metrics.copartitioned_joins}/{metrics.broadcast_joins}"
+        f"/{metrics.repartition_joins}",
+        str(metrics.replica_substitutions),
+        str(metrics.local_agg_stages),
+        f"{metrics.shuffled_bytes / MB:.1f}",
+        str(metrics.batches_processed),
+        f"{metrics.mean_batch_fill:.1f}",
+        f"{metrics.stages_run}({metrics.parallel_stages})",
+        f"{metrics.mean_stage_parallelism:.1f}",
+    ]
+    lines.append(_render_row(cells, widths))
+    return "\n".join(lines)
+
+
 def reconcile(metrics: ClusterMetrics) -> "list[str]":
     """Cross-check the per-set registry against PoolStats, per node.
 

@@ -1,0 +1,237 @@
+"""Golden equivalence: the vectorized engine vs the record-at-a-time oracle.
+
+Every plan shape runs twice on freshly built identical clusters — once
+with ``QueryScheduler(vectorized=False)`` (the oracle) and once with the
+default vectorized + node-parallel engine — and must produce
+
+* bit-identical result records,
+* bit-identical per-node simulated clocks (exact float equality),
+* identical per-node network/disk byte counters, and
+* identical SchedulerMetrics strategy decisions.
+
+This is the contract that lets the vectorized engine be the default: it
+is purely a wall-clock optimization, invisible to the cost model.
+"""
+
+import pytest
+
+from repro import MachineProfile, PangeaCluster
+from repro.placement.partitioner import HashPartitioner, partition_set
+from repro.placement.replication import register_replica
+from repro.query.operators import ScanNode
+from repro.query.scheduler import QueryScheduler
+from repro.sim.devices import GB, MB
+from repro.sim.faults import FaultConfig, FaultInjector
+
+
+def make_cluster(num_nodes=3):
+    cluster = PangeaCluster(
+        num_nodes=num_nodes, profile=MachineProfile.tiny(pool_bytes=64 * MB)
+    )
+    orders = cluster.create_set("orders", page_size=1 * MB, object_bytes=64)
+    items = cluster.create_set("items", page_size=1 * MB, object_bytes=64)
+    orders.add_data([{"o_id": i, "cust": i % 7} for i in range(300)])
+    items.add_data(
+        [{"i_id": i, "i_order": i % 300, "qty": i % 5 + 1} for i in range(1200)]
+    )
+    return cluster
+
+
+def add_replicas(cluster):
+    orders, items = cluster.get_set("orders"), cluster.get_set("items")
+    o_rep = cluster.create_set("orders_by_id", page_size=1 * MB, object_bytes=64)
+    partition_set(
+        orders, o_rep, HashPartitioner(lambda r: r["o_id"], 12, key_name="o_id")
+    )
+    i_rep = cluster.create_set("items_by_order", page_size=1 * MB, object_bytes=64)
+    partition_set(
+        items, i_rep, HashPartitioner(lambda r: r["i_order"], 12, key_name="i_order")
+    )
+    register_replica(orders, o_rep, object_id_fn=lambda r: r["o_id"])
+    register_replica(items, i_rep, object_id_fn=lambda r: r["i_id"])
+
+
+def join_plan(how="inner"):
+    return ScanNode("items").join(
+        ScanNode("orders"),
+        left_key=lambda r: r["i_order"],
+        right_key=lambda r: r["o_id"],
+        merge=lambda l, r: {**l, **(r or {"o_id": None, "cust": None})},
+        left_key_name="i_order",
+        right_key_name="o_id",
+        how=how,
+    )
+
+
+def agg_plan(child):
+    return child.aggregate(
+        key_fn=lambda r: r["i_order"] % 16,
+        seed_fn=lambda r: r["qty"],
+        merge_fn=lambda a, b: a + b,
+        final_fn=lambda k, acc: {"bucket": k, "qty": acc},
+    )
+
+
+def run_engine(plan_fn, vectorized, setup=None, fault_seed=None, **sched_kw):
+    cluster = make_cluster()
+    if setup is not None:
+        setup(cluster)
+    if fault_seed is not None:
+        FaultInjector(
+            seed=fault_seed,
+            config=FaultConfig(
+                disk_write_error_rate=0.02,
+                disk_latency_spike_rate=0.05,
+                net_slow_rate=0.05,
+            ),
+        ).attach(cluster)
+    scheduler = QueryScheduler(
+        cluster, object_bytes=64, vectorized=vectorized, **sched_kw
+    )
+    rows = scheduler.execute(plan_fn())
+    return {
+        "rows": rows,
+        "clocks": [node.clock.now for node in cluster.nodes],
+        "net": [node.network.stats.bytes_sent for node in cluster.nodes],
+        "disk": [
+            (node.disks.total_bytes_read(), node.disks.total_bytes_written())
+            for node in cluster.nodes
+        ],
+        "metrics": scheduler.metrics,
+    }
+
+
+def assert_golden(plan_fn, expect_batches=True, **kw):
+    oracle = run_engine(plan_fn, vectorized=False, **kw)
+    vec = run_engine(plan_fn, vectorized=True, **kw)
+    assert vec["rows"] == oracle["rows"]
+    assert vec["clocks"] == oracle["clocks"]  # exact float equality
+    assert vec["net"] == oracle["net"]
+    assert vec["disk"] == oracle["disk"]
+    assert (
+        vec["metrics"].decision_counters() == oracle["metrics"].decision_counters()
+    )
+    assert oracle["metrics"].batches_processed == 0
+    if expect_batches and kw.get("fault_seed") is None:
+        assert vec["metrics"].batches_processed > 0
+        assert vec["metrics"].stages_run > 0
+    return oracle, vec
+
+
+class TestScansAndPipelines:
+    def test_plain_scan(self):
+        assert_golden(lambda: ScanNode("orders"))
+
+    def test_filter_map_pipeline(self):
+        assert_golden(
+            lambda: ScanNode("items")
+            .filter(lambda r: r["qty"] > 2)
+            .map(lambda r: {**r, "double": r["qty"] * 2})
+        )
+
+    def test_flatmap_fanout(self):
+        assert_golden(
+            lambda: ScanNode("orders").flat_map(
+                lambda r: [{"o_id": r["o_id"], "copy": c} for c in range(3)]
+            )
+        )
+
+    def test_filter_everything_out(self):
+        assert_golden(lambda: ScanNode("orders").filter(lambda r: False))
+
+
+class TestJoins:
+    def test_copartitioned_join(self):
+        oracle, _vec = assert_golden(join_plan, setup=add_replicas)
+        assert oracle["metrics"].copartitioned_joins == 1
+
+    def test_broadcast_join(self):
+        oracle, _vec = assert_golden(join_plan)
+        assert oracle["metrics"].broadcast_joins == 1
+
+    def test_repartition_join(self):
+        oracle, _vec = assert_golden(join_plan, broadcast_threshold=0)
+        assert oracle["metrics"].repartition_joins == 1
+
+    @pytest.mark.parametrize("how", ["left_semi", "left_anti", "left_outer"])
+    def test_join_semantics(self, how):
+        assert_golden(lambda: join_plan(how), broadcast_threshold=0)
+
+    def test_join_with_trailing_steps(self):
+        assert_golden(
+            lambda: join_plan().filter(lambda r: r["cust"] == 1).map(
+                lambda r: {"i_id": r["i_id"], "cust": r["cust"]}
+            )
+        )
+
+
+class TestAggregationOrderLimit:
+    def test_aggregate_over_scan(self):
+        oracle, _vec = assert_golden(lambda: agg_plan(ScanNode("items")))
+        assert oracle["metrics"].local_agg_stages == 1
+
+    def test_aggregate_over_repartition_join(self):
+        assert_golden(lambda: agg_plan(join_plan()), broadcast_threshold=0)
+
+    def test_orderby(self):
+        assert_golden(
+            lambda: ScanNode("orders").order_by(lambda r: (r["cust"], r["o_id"]))
+        )
+
+    def test_limit(self):
+        assert_golden(lambda: ScanNode("items").limit(17))
+
+    def test_limit_charges_driver_transfers(self):
+        # The satellite fix: limit ships every child record to the driver
+        # and now pays the same transfers order_by pays for that movement.
+        limit = run_engine(lambda: ScanNode("items").limit(17), vectorized=True)
+        order = run_engine(
+            lambda: ScanNode("items").order_by(lambda r: r["i_id"]), vectorized=True
+        )
+        assert limit["net"][1:] == order["net"][1:]
+        assert sum(limit["net"]) > 0
+
+
+class TestFaultInjectionSeeds:
+    """With an enabled injector both engines take the oracle path, so the
+    fault schedule replays identically from the seed."""
+
+    @pytest.mark.parametrize("seed", [3, 11, 1234])
+    def test_rate_faults_identical(self, seed):
+        assert_golden(join_plan, broadcast_threshold=0, fault_seed=seed)
+
+    def test_vectorized_engine_disabled_under_faults(self):
+        vec = run_engine(
+            lambda: agg_plan(ScanNode("items")), vectorized=True, fault_seed=7
+        )
+        assert vec["metrics"].batches_processed == 0
+        assert vec["metrics"].parallel_stages == 0
+
+
+class TestTpchShapedPlans:
+    """Replica-served and shuffle TPC-H queries on a tiny generated scale."""
+
+    @pytest.mark.parametrize("query", ["Q01", "Q04", "Q12", "Q14"])
+    def test_query_golden(self, query):
+        from repro.tpch import QUERIES, load_tpch, register_tpch_replicas
+
+        def run(vectorized):
+            cluster = PangeaCluster(
+                num_nodes=4, profile=MachineProfile.tiny(pool_bytes=1 * GB)
+            )
+            load_tpch(cluster, scale=0.002, page_size=4 * MB)
+            register_tpch_replicas(cluster)
+            scheduler = QueryScheduler(
+                cluster,
+                broadcast_threshold=512 * MB,
+                object_bytes=144,
+                vectorized=vectorized,
+            )
+            rows = QUERIES[query](scheduler)
+            return rows, [n.clock.now for n in cluster.nodes], scheduler.metrics
+
+        oracle_rows, oracle_clocks, oracle_metrics = run(False)
+        vec_rows, vec_clocks, vec_metrics = run(True)
+        assert vec_rows == oracle_rows
+        assert vec_clocks == oracle_clocks
+        assert vec_metrics.decision_counters() == oracle_metrics.decision_counters()
